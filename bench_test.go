@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact), plus microbenchmarks backing
+// the paper's "prediction costs nanoseconds" claim. Each experiment
+// benchmark runs the full experiment at a reduced scale and reports its
+// headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation and prints the reproduced shape.
+package ssdcheck_test
+
+import (
+	"testing"
+	"time"
+
+	"ssdcheck"
+	"ssdcheck/internal/experiments"
+)
+
+// benchOpts keeps every experiment benchmark at a scale where a full
+// -bench=. sweep finishes in a couple of minutes on one core.
+func benchOpts() experiments.Opts { return experiments.Opts{Seed: 42, Scale: 0.25} }
+
+func BenchmarkFig01_IrregularBehaviors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig01(benchOpts())
+		b.ReportMetric(r.Devices[0].P999Us/r.Devices[0].MedianUs, "tailXmedian_A")
+		b.ReportMetric(r.Devices[0].ThroughputCoV, "thptCoV_A")
+	}
+}
+
+func BenchmarkFig03_PrototypeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig03(benchOpts())
+		var optimal, wb, all float64
+		for _, v := range r.Variants {
+			switch v.Name {
+			case "SSD_Optimal":
+				optimal = v.P995Us
+			case "SSD_WB+Others":
+				wb = v.P995Us
+			case "SSD_All":
+				all = v.P995Us
+			}
+		}
+		b.ReportMetric(wb/optimal, "tailWBxOptimal")   // paper: 8.24x
+		b.ReportMetric(all/optimal, "tailAllxOptimal") // paper: 47.12x
+		b.ReportMetric(100*r.PortionWB, "opsWBpct")    // paper: 6.39%
+		b.ReportMetric(100*r.PortionGC, "opsGCpct")    // paper: 0.24%
+	}
+}
+
+func BenchmarkFig04_AllocVolumeScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig04(benchOpts())
+		minRatioD := 1.0
+		for _, p := range r.Devices[1].Points {
+			if p.Ratio < minRatioD {
+				minRatioD = p.Ratio
+			}
+		}
+		b.ReportMetric(minRatioD, "minRatioD") // paper: throughput halves at bit 17
+		b.ReportMetric(float64(len(r.Devices[1].DetectedBits)), "bitsFoundD")
+	}
+}
+
+func BenchmarkFig05_GCVolumeScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig05(benchOpts())
+		for _, d := range r.Devices {
+			if d.Name == "SSD E" {
+				b.ReportMetric(float64(len(d.DetectedBits)), "bitsFoundE") // paper: 2 (17,18)
+			}
+		}
+	}
+}
+
+func BenchmarkFig06_WriteBufferProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig06(benchOpts())
+		b.ReportMetric(float64(r.BufferKB), "bufferKB")   // paper: 248KB on SSD A
+		b.ReportMetric(float64(r.PeriodWrites), "period") // paper: HL read every 62 writes
+	}
+}
+
+func BenchmarkTable1_FeatureExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(benchOpts())
+		matches := 0
+		for _, row := range r.Rows {
+			if row.Err == nil && row.Match {
+				matches++
+			}
+		}
+		b.ReportMetric(float64(matches), "devicesMatched") // 7 = full Table I recovered
+	}
+}
+
+func BenchmarkTable2_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(benchOpts())
+		var maxErr float64
+		for _, row := range r.Rows {
+			if d := row.WriteFrac - row.TargetWrite; d > maxErr {
+				maxErr = d
+			} else if -d > maxErr {
+				maxErr = -d
+			}
+		}
+		b.ReportMetric(100*maxErr, "maxWriteFracErrPct")
+	}
+}
+
+func BenchmarkTable3_LatencyDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchOpts())
+		b.ReportMetric(100*r.ReadBuckets[0], "readsNLpct")   // paper: 99.12%
+		b.ReportMetric(100*r.WriteBuckets[0], "writesNLpct") // paper: 98.43%
+	}
+}
+
+func BenchmarkFig11_PredictionAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(experiments.Opts{Seed: 42, Scale: 0.15})
+		var nl, hl float64
+		n := 0
+		for _, d := range r.Devices {
+			if d.DiagnosisErr != nil {
+				continue
+			}
+			nl += d.MeanNL
+			hl += d.MeanHL
+			n++
+		}
+		b.ReportMetric(100*nl/float64(n), "meanNLpct") // paper: ~99%
+		b.ReportMetric(100*hl/float64(n), "meanHLpct") // paper: ~70%
+	}
+}
+
+func BenchmarkFig12_VALVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(experiments.Opts{Seed: 42, Scale: 0.2})
+		b.ReportMetric(r.MeanGain, "meanThptGainX") // paper: 2.38x
+		b.ReportMetric(r.MaxGain, "maxThptGainX")   // paper: 4.29x
+		b.ReportMetric(r.MeanTailPct, "tailPctOfLinear")
+	}
+}
+
+func BenchmarkFig13_SchedulerTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(experiments.Opts{Seed: 42, Scale: 0.25})
+		var noop, pas float64
+		for _, s := range r.Schedulers {
+			switch s.Name {
+			case "noop":
+				noop = s.TailUs
+			case "pas":
+				pas = s.TailUs
+			}
+		}
+		b.ReportMetric(pas/noop, "pasTailXnoop") // paper: ~0.3x at the flush point
+	}
+}
+
+func BenchmarkFig14_PAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(experiments.Opts{Seed: 42, Scale: 0.25})
+		var tailSum float64
+		n := 0
+		for _, c := range r.Cells {
+			for _, row := range c.Rows {
+				if row.Scheduler == "pas" {
+					tailSum += row.TailVsNoop
+					n++
+				}
+			}
+		}
+		b.ReportMetric(tailSum/float64(n), "pasMeanTailXnoop") // paper: ~0.3x
+	}
+}
+
+func BenchmarkFig15_HybridPAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15(experiments.Opts{Seed: 42, Scale: 0.3})
+		b.ReportMetric(r.SteadyGain, "hybridSteadyGainX") // paper: up to 2.1x
+		var red float64
+		for _, p := range r.Pressure {
+			red += p.ReductionPct
+		}
+		b.ReportMetric(red/float64(len(r.Pressure)), "nvmPressureRedPct") // paper: 16.7-28.7%
+	}
+}
+
+// BenchmarkPredict backs the paper's claim that per-request prediction
+// costs nanoseconds.
+func BenchmarkPredict(b *testing.B) {
+	cfg, _ := ssdcheck.Preset("A", 1)
+	dev, _ := ssdcheck.NewSSD(cfg)
+	now := ssdcheck.Precondition(dev, 1, 1.2, 0)
+	feats, now, err := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{
+		Seed: 1, MinBit: 16, MaxBit: 18, AllocWritesPerBit: 1500, GCIntervals: 12,
+		Thinktimes: []time.Duration{500 * time.Microsecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{})
+	req := ssdcheck.Request{Op: ssdcheck.Read, LBA: 4096, Sectors: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pr.Predict(req, ssdcheck.Time(i))
+	}
+}
+
+// BenchmarkDeviceSubmit measures the simulator's request-processing
+// throughput (simulated ops per wall second).
+func BenchmarkDeviceSubmit(b *testing.B) {
+	cfg, _ := ssdcheck.Preset("A", 2)
+	dev, _ := ssdcheck.NewSSD(cfg)
+	now := ssdcheck.Precondition(dev, 2, 1.2, 0)
+	reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, dev.CapacitySectors(), 3, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = dev.Submit(reqs[i%len(reqs)], now)
+	}
+}
+
+// BenchmarkDiagnosis measures the wall-clock cost of a full diagnosis.
+func BenchmarkDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, _ := ssdcheck.Preset("D", uint64(i))
+		dev, _ := ssdcheck.NewSSD(cfg)
+		now := ssdcheck.Precondition(dev, uint64(i), 1.2, 0)
+		if _, _, err := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation quantifies what each model component buys — the
+// extension experiment backing the paper's §V-B prose claims.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablation(experiments.Opts{Seed: 42, Scale: 0.25})
+		var fullD, noVolD float64
+		for _, row := range r.Rows {
+			if row.Device == "SSD D" && row.Variant == "full" {
+				fullD = row.HL
+			}
+			if row.Device == "SSD D" && row.Variant == "no-volume-model" {
+				noVolD = row.HL
+			}
+		}
+		b.ReportMetric(100*(fullD-noVolD), "volumeModelWorthPP")
+	}
+}
+
+// BenchmarkSLCExtension regenerates the SLC-caching extension (paper §VI
+// future work): diagnosis finds the cache region and the unchanged GC
+// model predicts its folds.
+func BenchmarkSLCExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SLCExtension(experiments.Opts{Seed: 42, Scale: 0.4})
+		b.ReportMetric(float64(r.DetectedPages), "slcPagesFound")
+		b.ReportMetric(100*r.HLFull, "hlAccuracyPct")
+		b.ReportMetric(100*(r.HLFull-r.HLNoGC), "historyWorthPP")
+	}
+}
+
+// BenchmarkFIOSExtension regenerates the §VII FIOS comparison.
+func BenchmarkFIOSExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FIOS(experiments.Opts{Seed: 42, Scale: 0.3})
+		var classic, assisted float64
+		for _, row := range r.Rows {
+			classic += float64(row.ClassicP50)
+			assisted += float64(row.AssistedP50)
+		}
+		b.ReportMetric(assisted/classic, "assistedP50Xclassic")
+	}
+}
+
+// BenchmarkQDSweep regenerates the queue-depth sweep extension.
+func BenchmarkQDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.QDSweep(experiments.Opts{Seed: 42, Scale: 0.3})
+		deepest := r.Points[len(r.Points)-1]
+		b.ReportMetric(deepest.TailRatio, "pasTailXnoopQD16")
+	}
+}

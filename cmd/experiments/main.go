@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate and prints their rows/series as text.
+//
+// Usage:
+//
+//	experiments -run all [-seed 42] [-scale 1.0]
+//	experiments -run fig11
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ssdcheck/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (see -list), or \"all\"")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "request-count scale factor")
+	list := flag.Bool("list", false, "list available experiments")
+	format := flag.String("format", "text", "output format: text or json (json requires a single -run)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	o := experiments.Opts{Seed: *seed, Scale: *scale}
+	start := time.Now()
+	switch {
+	case *format == "json":
+		if *run == "all" {
+			fmt.Fprintln(os.Stderr, "experiments: -format json requires a single -run")
+			os.Exit(1)
+		}
+		if err := experiments.RunJSON(*run, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	case *run == "all":
+		experiments.RunAll(o, os.Stdout)
+	default:
+		if err := experiments.Run(*run, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

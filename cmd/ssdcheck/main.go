@@ -1,0 +1,120 @@
+// Command ssdcheck diagnoses a simulated black-box SSD: it preconditions
+// the device, runs the paper's diagnosis code snippets, prints the
+// extracted Table-I-style feature row and the performance-model
+// parameters, and optionally validates the resulting predictor on a
+// workload replay.
+//
+// Usage:
+//
+//	ssdcheck -preset D [-seed 7] [-validate RWMixed] [-requests 40000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssdcheck"
+	"ssdcheck/internal/extract"
+)
+
+func main() {
+	preset := flag.String("preset", "A", "device preset to diagnose (A..G, H)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	validate := flag.String("validate", "", "workload to validate prediction accuracy on (e.g. \"RW Mixed\", \"Web\"); empty skips")
+	requests := flag.Int("requests", 40000, "validation replay length")
+	save := flag.String("save", "", "write the extracted features to this JSON file")
+	load := flag.String("load", "", "reuse features from this JSON file instead of diagnosing")
+	flag.Parse()
+
+	if err := run(*preset, *seed, *validate, *requests, *save, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, seed uint64, validate string, requests int, save, load string) error {
+	cfg, err := ssdcheck.Preset(preset, seed)
+	if err != nil {
+		return err
+	}
+	dev, err := ssdcheck.NewSSD(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("preconditioning %s (SNIA-style purge + 1.3x random fill)...\n", dev.Name())
+	now := ssdcheck.Precondition(dev, seed, 1.3, 0)
+
+	var feats *ssdcheck.Features
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var device string
+		feats, device, err = extract.LoadFeatures(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded saved diagnosis of %q from %s\n\n", device, load)
+	} else {
+		fmt.Println("running diagnosis snippets (thresholds, volume scans, buffer analysis)...")
+		start := time.Now()
+		feats, now, err = ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diagnosis done in %v (host wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := feats.Save(f, dev.Name()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("features saved to %s\n", save)
+	}
+
+	fmt.Println("extracted features (Table I row):")
+	fmt.Println("  " + feats.TableRow(dev.Name()))
+	fmt.Printf("  read/write NL thresholds: %v / %v\n", feats.ReadThreshold, feats.WriteThreshold)
+	fmt.Printf("  flush overhead: %v, GC overhead: %v\n", feats.FlushOverhead, feats.GCOverhead)
+	fmt.Printf("  GC interval samples (writes): %d collected\n", len(feats.GCIntervalWrites))
+	if feats.SLCCachePages > 0 {
+		fmt.Printf("  SLC cache region: %d pages (fold stall ~%v)\n", feats.SLCCachePages, feats.SLCFoldOverhead.Round(time.Millisecond))
+	}
+
+	if validate == "" {
+		return nil
+	}
+
+	var spec ssdcheck.Workload
+	found := false
+	for _, w := range append(append([]ssdcheck.Workload{}, ssdcheck.Workloads...), ssdcheck.WriteBurst) {
+		if w.Name == validate {
+			spec, found = w, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown workload %q", validate)
+	}
+
+	fmt.Printf("\nvalidating predictor on %s (%d requests)...\n", spec.Name, requests)
+	pr := ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{})
+	reqs := ssdcheck.GenerateWorkload(spec, dev.CapacitySectors(), seed+99, requests)
+	rep := ssdcheck.EvaluateAccuracy(dev, pr, reqs, now)
+	fmt.Printf("  NL accuracy: %.2f%% (%d/%d)\n", 100*rep.NLAccuracy(), rep.NLCorrect, rep.NLCount)
+	fmt.Printf("  HL accuracy: %.2f%% (%d/%d)\n", 100*rep.HLAccuracy(), rep.HLCorrect, rep.HLCount)
+	fmt.Printf("  predictor enabled: %v\n", pr.Enabled())
+	return nil
+}

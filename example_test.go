@@ -1,0 +1,43 @@
+package ssdcheck_test
+
+import (
+	"fmt"
+
+	"ssdcheck"
+)
+
+// ExampleDiagnose shows the diagnosis pipeline recovering a black-box
+// device's internal features from nothing but request latencies.
+func ExampleDiagnose() {
+	cfg, _ := ssdcheck.Preset("D", 7) // two internal volumes, bit 17
+	dev, _ := ssdcheck.NewSSD(cfg)
+	now := ssdcheck.Precondition(dev, 7, 1.3, 0)
+
+	feats, _, err := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{Seed: 7})
+	if err != nil {
+		fmt.Println("outside model coverage:", err)
+		return
+	}
+	fmt.Println(feats.TableRow("SSD D"))
+	// Output:
+	// SSD D     2 (17)   128KB  back    full
+}
+
+// ExamplePredictor_PredictReadInOrder shows the query SSD-only PAS
+// makes: would this read, served behind the writes queued ahead of it,
+// be high-latency? Enough pending writes to wrap the 248 KB buffer
+// (62 pages) means the read will meet the drain.
+func ExamplePredictor_PredictReadInOrder() {
+	cfg, _ := ssdcheck.Preset("A", 7)
+	dev, _ := ssdcheck.NewSSD(cfg)
+	now := ssdcheck.Precondition(dev, 7, 1.3, 0)
+	feats, now, _ := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{Seed: 7})
+	pr := ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{})
+
+	read := ssdcheck.Request{Op: ssdcheck.Read, LBA: 999 * 8, Sectors: 8}
+	fmt.Println("behind  5 write pages:", pr.PredictReadInOrder(read, now, 5).HL)
+	fmt.Println("behind 70 write pages:", pr.PredictReadInOrder(read, now, 70).HL)
+	// Output:
+	// behind  5 write pages: false
+	// behind 70 write pages: true
+}

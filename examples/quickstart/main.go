@@ -1,0 +1,67 @@
+// Quickstart: the complete SSDcheck pipeline on one device in ~40 lines
+// of API use — build a black-box (simulated) SSD, precondition it, run
+// the diagnosis snippets, construct the predictor, and use it to predict
+// individual requests before submitting them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssdcheck"
+)
+
+func main() {
+	// 1. A black-box device. Preset "A" mirrors the paper's SSD A:
+	//    one internal volume, 248 KB back-type write buffer.
+	cfg, err := ssdcheck.Preset("A", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := ssdcheck.NewSSD(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Steady state first (SNIA practice): purge, then dirty the
+	//    device so garbage collection is live.
+	now := ssdcheck.Precondition(dev, 7, 1.3, 0)
+
+	// 3. Diagnosis: SSDcheck probes the device through nothing but
+	//    reads and writes, and recovers its internal features.
+	feats, now, err := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extracted:", feats.TableRow(dev.Name()))
+
+	// 4. The runtime framework: prediction engine + latency monitor +
+	//    calibrator, constructed from the extracted features.
+	pr := ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{})
+
+	// 5. Use it: before each request, ask whether it would be slow.
+	reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, dev.CapacitySectors(), 8, 30000)
+	var predictedHL, measuredHL, hits int
+	for _, req := range reqs {
+		pred := pr.Predict(req, now)
+		done := dev.Submit(req, now)
+		pr.Observe(req, now, done) // feed the latency monitor
+
+		hl := pr.Classify(req.Op, done.Sub(now))
+		if pred.HL {
+			predictedHL++
+		}
+		if hl {
+			measuredHL++
+			if pred.HL {
+				hits++
+			}
+		}
+		now = done
+	}
+
+	fmt.Printf("replayed %d requests: %d were high-latency, %d of those predicted (%.1f%%)\n",
+		len(reqs), measuredHL, hits, 100*float64(hits)/float64(measuredHL))
+	fmt.Printf("predictor flagged %d requests HL in total; still enabled: %v\n",
+		predictedHL, pr.Enabled())
+}

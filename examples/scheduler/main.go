@@ -1,0 +1,63 @@
+// Scheduler: the paper's SSD-only Prediction-Aware Scheduler (§IV-B).
+// On a fore-buffered, read-trigger-flush device (SSD G), reads that land
+// behind buffered writes pay the flush; PAS asks SSDcheck for the
+// in-order latency prediction of the oldest read and promotes it when
+// the answer is "high-latency". Compared against noop, deadline and CFQ
+// on the identical arrival stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ssdcheck"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/trace"
+)
+
+func main() {
+	cfg, err := ssdcheck.Preset("G", 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Diagnose a scratch clone once; features transfer to any device
+	// of the same model.
+	scratch, _ := ssdcheck.NewSSD(cfg)
+	now := ssdcheck.Precondition(scratch, 13, 1.3, 0)
+	feats, _, err := ssdcheck.Diagnose(scratch, now, ssdcheck.DiagnosisOpts{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diagnosed:", feats.TableRow("SSD G"))
+
+	schedulers := map[string]func() ssdcheck.Scheduler{
+		"noop":     ssdcheck.NewNoop,
+		"deadline": ssdcheck.NewDeadline,
+		"cfq":      ssdcheck.NewCFQ,
+		"pas": func() ssdcheck.Scheduler {
+			return ssdcheck.NewPAS(ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{}))
+		},
+	}
+
+	fmt.Printf("\n%-10s %12s %14s %12s\n", "scheduler", "read p50", "read tail@95", "read p99")
+	for _, name := range []string{"noop", "deadline", "cfq", "pas"} {
+		dev, _ := ssdcheck.NewSSD(cfg)
+		start := ssdcheck.Precondition(dev, 13, 1.3, 0)
+		reqs := ssdcheck.GenerateWorkload(ssdcheck.Build, dev.CapacitySectors(), 14, 10000)
+		gap, start := host.CalibrateMeanGap(dev, trace.Build, 15, 1200, 0.45, start)
+		arr := host.OpenLoopArrivals(reqs, gap, 16)
+		for i := range arr {
+			arr[i].At += start
+		}
+		recs := ssdcheck.Drive(dev, schedulers[name](), arr)
+		reads := host.FilterOp(recs, ssdcheck.Read)
+		fmt.Printf("%-10s %12v %14v %12v\n", name,
+			time.Duration(host.PercentileLatency(reads, 0.50)).Round(time.Microsecond),
+			time.Duration(host.PercentileLatency(reads, 0.95)).Round(time.Microsecond),
+			time.Duration(host.PercentileLatency(reads, 0.99)).Round(time.Microsecond))
+	}
+	fmt.Println("\nPAS trims the flush-dominated tail (p95) by promoting predicted-HL reads;")
+	fmt.Println("the p99 region is garbage-collection backlog, which no reordering removes.")
+}

@@ -1,0 +1,3 @@
+module ssdcheck
+
+go 1.22

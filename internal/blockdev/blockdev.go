@@ -1,0 +1,139 @@
+// Package blockdev defines the request vocabulary shared by everything
+// that talks to a block device: the simulated SSDs, the diagnosis
+// snippets, the predictor, the volume managers and the schedulers.
+//
+// The Device interface is deliberately minimal — it is exactly the
+// black-box surface SSDcheck has against a commodity SSD: submit a
+// request, learn when it completed. Ground-truth cause tags exist only on
+// the richer interfaces of the concrete simulator type, for evaluation;
+// nothing on Device exposes them.
+package blockdev
+
+import (
+	"fmt"
+
+	"ssdcheck/internal/simclock"
+)
+
+// SectorSize is the addressable unit of every device in this repository.
+const SectorSize = 512
+
+// PageSize is the NAND page (and FTL mapping) granularity.
+const PageSize = 4096
+
+// SectorsPerPage is the number of LBA sectors per NAND page.
+const SectorsPerPage = PageSize / SectorSize
+
+// Op is a block request type.
+type Op uint8
+
+const (
+	// Read fetches data.
+	Read Op = iota
+	// Write stores data.
+	Write
+	// Trim invalidates a logical range without writing.
+	Trim
+)
+
+// String returns the conventional lowercase name of the operation.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Trim:
+		return "trim"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Request is one block I/O request.
+type Request struct {
+	Op      Op
+	LBA     int64 // sector address
+	Sectors int   // length in sectors
+}
+
+// Bytes returns the request payload size in bytes.
+func (r Request) Bytes() int { return r.Sectors * SectorSize }
+
+// Device is the black-box view of a block device: the only operations a
+// host (and therefore SSDcheck) has available.
+type Device interface {
+	// Submit hands the device a request at virtual instant at and
+	// returns the instant the request completes. Submissions touching
+	// the same internal volume must be issued in non-decreasing time
+	// order; the simulated device serializes media work per volume.
+	Submit(req Request, at simclock.Time) simclock.Time
+
+	// CapacitySectors returns the addressable capacity in sectors.
+	CapacitySectors() int64
+}
+
+// Cause labels why a request was slow. It is ground truth emitted by the
+// simulator for evaluation and tests only; it is not part of Device and
+// the prediction pipeline never sees it.
+type Cause uint8
+
+const (
+	// CauseNone marks an uninterfered, normal-latency request.
+	CauseNone Cause = iota
+	// CauseFlush marks a request delayed by a write-buffer flush
+	// draining to the NAND (including fore-type flush waits).
+	CauseFlush
+	// CauseBackpressure marks a write stalled because the previous
+	// buffer flush had not finished draining.
+	CauseBackpressure
+	// CauseReadTrigger marks a read that itself triggered a buffer
+	// flush (read-trigger flush algorithm) and waited for it.
+	CauseReadTrigger
+	// CauseGC marks a request delayed by garbage collection.
+	CauseGC
+	// CauseSecondary marks delays from unmodeled secondary features
+	// (wear-leveling moves, SLC-cache folding, read-disturb scrubs).
+	CauseSecondary
+)
+
+// String names the cause for reports.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseFlush:
+		return "flush"
+	case CauseBackpressure:
+		return "backpressure"
+	case CauseReadTrigger:
+		return "read-trigger"
+	case CauseGC:
+		return "gc"
+	case CauseSecondary:
+		return "secondary"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Completion is the full (evaluation-side) record of a finished request.
+type Completion struct {
+	Req    Request
+	Submit simclock.Time
+	Done   simclock.Time
+	Cause  Cause
+}
+
+// Latency returns the request's total service time.
+func (c Completion) Latency() simclock.Time { return c.Done - c.Submit }
+
+// TaggedDevice is the evaluation-side view of the simulator: identical to
+// Device but additionally reporting the ground-truth cause. Experiments
+// and tests use it; the prediction pipeline must not.
+type TaggedDevice interface {
+	Device
+	// SubmitTagged behaves like Submit and also returns the
+	// ground-truth cause of any delay the request experienced.
+	SubmitTagged(req Request, at simclock.Time) (done simclock.Time, cause Cause)
+}

@@ -1,0 +1,55 @@
+package blockdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{Read: "read", Write: "write", Trim: "trim", Op(9): "op(9)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String()=%q want %q", op, got, want)
+		}
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	cases := map[Cause]string{
+		CauseNone: "none", CauseFlush: "flush", CauseBackpressure: "backpressure",
+		CauseReadTrigger: "read-trigger", CauseGC: "gc", CauseSecondary: "secondary",
+		Cause(99): "cause(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Cause(%d).String()=%q want %q", c, got, want)
+		}
+	}
+}
+
+func TestRequestBytes(t *testing.T) {
+	r := Request{Op: Write, LBA: 0, Sectors: 8}
+	if r.Bytes() != 4096 {
+		t.Fatalf("Bytes()=%d", r.Bytes())
+	}
+}
+
+func TestCompletionLatency(t *testing.T) {
+	c := Completion{Submit: 100, Done: 350}
+	if c.Latency() != 250 {
+		t.Fatalf("Latency()=%d", c.Latency())
+	}
+}
+
+func TestSectorPageConstantsConsistent(t *testing.T) {
+	if SectorsPerPage*SectorSize != PageSize {
+		t.Fatal("sector/page constants inconsistent")
+	}
+	f := func(sectors uint16) bool {
+		n := int(sectors%1024) + 1
+		return Request{Sectors: n}.Bytes() == n*SectorSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

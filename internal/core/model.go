@@ -1,0 +1,219 @@
+// Package core implements SSDcheck's performance model and runtime
+// framework (paper §III-C): the write-buffer model (buffer counter +
+// flush detector), the history-based GC model (interval counter +
+// interval distribution + GC detector), and the runtime pipeline of
+// volume selector, prediction engine (EBT/EET), latency monitor and
+// calibrator.
+//
+// The predictor consumes only information a host legitimately has: the
+// features extracted by the diagnosis snippets, the requests it submits,
+// and their completion times. It never touches simulator internals.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ssdcheck/internal/simclock"
+)
+
+// intervalDist is the GC model's empirical distribution of GC intervals,
+// counted in buffer flushes. It answers the GC detector's question:
+// given that the current interval has already reached n flushes, should
+// the next flush be expected to trigger GC?
+type intervalDist struct {
+	counts map[int]int
+	total  int
+}
+
+func newIntervalDist() *intervalDist {
+	return &intervalDist{counts: make(map[int]int)}
+}
+
+// Add records one observed GC interval (in flushes).
+func (d *intervalDist) Add(iv int) {
+	if iv <= 0 {
+		return
+	}
+	d.counts[iv]++
+	d.total++
+}
+
+// Reset discards the history — the calibrator's response to a drifting
+// distribution.
+func (d *intervalDist) Reset() {
+	d.counts = make(map[int]int)
+	d.total = 0
+}
+
+// Total returns how many intervals the distribution holds.
+func (d *intervalDist) Total() int { return d.total }
+
+// CDF returns the empirical probability that an interval is <= iv.
+func (d *intervalDist) CDF(iv int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	n := 0
+	for v, c := range d.counts {
+		if v <= iv {
+			n += c
+		}
+	}
+	return float64(n) / float64(d.total)
+}
+
+// Max returns the largest recorded interval, 0 if empty.
+func (d *intervalDist) Max() int {
+	m := 0
+	for v := range d.counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile of recorded intervals (0 if empty).
+func (d *intervalDist) Quantile(q float64) int {
+	if d.total == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(d.counts))
+	for v := range d.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	need := int(q * float64(d.total))
+	acc := 0
+	for _, v := range keys {
+		acc += d.counts[v]
+		if acc > need {
+			return v
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// ewma is a fixed-alpha exponentially weighted mean for overhead
+// calibration.
+type ewma struct {
+	val   time.Duration
+	alpha float64
+	init  bool
+}
+
+func newEWMA(seed time.Duration, alpha float64) *ewma {
+	e := &ewma{alpha: alpha}
+	if seed > 0 {
+		e.val, e.init = seed, true
+	}
+	return e
+}
+
+// Update folds an observation in.
+func (e *ewma) Update(x time.Duration) {
+	if !e.init {
+		e.val, e.init = x, true
+		return
+	}
+	e.val = time.Duration(float64(e.val)*(1-e.alpha) + float64(x)*e.alpha)
+}
+
+// Value returns the current estimate.
+func (e *ewma) Value() time.Duration { return e.val }
+
+// writeObs is one completed write the model remembers for phase resync.
+type writeObs struct {
+	done  simclock.Time
+	pages int
+}
+
+// volumeModel is the per-internal-volume state of the performance model.
+type volumeModel struct {
+	// Static, from extraction.
+	bufPages    int
+	fore        bool // fore-type buffer: flush-triggering write waits
+	readTrigger bool
+
+	// Write buffer model.
+	bufCount int // estimated pages currently buffered
+
+	// GC model.
+	flushesSinceGC int
+	dist           *intervalDist
+
+	// Estimated Block Time: when the volume's media becomes free.
+	ebt simclock.Time
+
+	// Calibrated overheads.
+	flushOverhead *ewma
+	gcOverhead    *ewma
+
+	// disableGC switches the GC detector off (ablation).
+	disableGC bool
+
+	// Phase-resync support: a small ring of recent write completions
+	// and the instant of the model's last flush event.
+	recent      [24]writeObs
+	recentIdx   int
+	lastFlushAt simclock.Time
+
+	// Two-strike misalignment detection: one unexpected drain-read is
+	// recorded as a suspicion; a second within a few buffer periods
+	// confirms the counter is out of phase. writesSeen counts observed
+	// written pages to age suspicions.
+	writesSeen    int64
+	suspect       bool
+	suspectWrites int64
+}
+
+// strikeMisalignment registers an unexpected drain observation and
+// reports whether it is the confirming second strike.
+func (v *volumeModel) strikeMisalignment() bool {
+	horizon := int64(3 * v.bufPages)
+	if v.suspect && v.writesSeen-v.suspectWrites <= horizon {
+		v.suspect = false
+		return true
+	}
+	v.suspect = true
+	v.suspectWrites = v.writesSeen
+	return false
+}
+
+// noteWrite records a completed write for later phase resync.
+func (v *volumeModel) noteWrite(done simclock.Time, pages int) {
+	v.recent[v.recentIdx] = writeObs{done: done, pages: pages}
+	v.recentIdx = (v.recentIdx + 1) % len(v.recent)
+}
+
+// resyncBuffer repairs the buffer counter after an observed drain the
+// counter did not anticipate: the device's buffer now holds exactly the
+// pages written after the flush trigger, and the trigger sits roughly
+// one drain-length before the observed completion. Counting the recent
+// writes inside (drainStart, asOf] re-locks the model's phase onto the
+// device's, which matters because a counter that runs even slightly late
+// misses every subsequent drain.
+func (v *volumeModel) resyncBuffer(drainStart, asOf simclock.Time) {
+	eps := 0
+	for _, w := range v.recent {
+		if w.pages > 0 && w.done.After(drainStart) && !w.done.After(asOf) {
+			eps += w.pages
+		}
+	}
+	if eps > v.bufPages-1 {
+		eps = v.bufPages - 1
+	}
+	v.bufCount = eps
+}
+
+// predictGCOnFlush reports whether the GC detector expects the next
+// flush to trigger GC, given the interval history.
+func (v *volumeModel) predictGCOnFlush(gcQuantile float64) bool {
+	if v.disableGC || v.dist.Total() < 3 {
+		return false
+	}
+	// If the interval has already reached mass q of the history, the
+	// next flush plausibly triggers GC.
+	return v.dist.CDF(v.flushesSinceGC+1) >= gcQuantile
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"io"
+
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// AblationResult quantifies what each piece of SSDcheck's model buys —
+// the claims the paper makes in prose ("The allocation volume model
+// substantially increases SSDcheck's accuracy on SSD D and E",
+// "Calibration engine, however, quickly resolves the discrepancy",
+// §V-B) as measured numbers.
+type AblationResult struct {
+	Rows []AblationRow
+	// GCQuantileSweep shows the GC detector's eagerness trade-off on
+	// SSD A: HL accuracy vs NL accuracy per quantile setting.
+	GCQuantileSweep []GCQuantilePoint
+}
+
+// AblationRow is one (device, variant) accuracy measurement.
+type AblationRow struct {
+	Device  string
+	Variant string
+	NL, HL  float64
+}
+
+// GCQuantilePoint is one sweep point.
+type GCQuantilePoint struct {
+	Quantile float64
+	NL, HL   float64
+}
+
+// Name implements Report.
+func (AblationResult) Name() string { return "Ablation (extension)" }
+
+// Render implements Report.
+func (r AblationResult) Render(w io.Writer) {
+	fprintf(w, "Ablation — what each model component buys (NL%% / HL%% on RW Mixed)\n")
+	fprintf(w, "%-8s %-16s %8s %8s\n", "SSD", "variant", "NL%", "HL%")
+	for _, row := range r.Rows {
+		fprintf(w, "%-8s %-16s %8.1f %8.1f\n", row.Device, row.Variant, 100*row.NL, 100*row.HL)
+	}
+	fprintf(w, "GC-detector quantile sweep on SSD A:\n")
+	for _, p := range r.GCQuantileSweep {
+		fprintf(w, "  q=%.2f  NL %5.1f%%  HL %5.1f%%\n", p.Quantile, 100*p.NL, 100*p.HL)
+	}
+}
+
+// ablationVariants are the predictor configurations compared.
+var ablationVariants = []struct {
+	name string
+	p    core.Params
+}{
+	{"full", core.Params{}},
+	{"no-volume-model", core.Params{IgnoreVolumes: true}},
+	{"no-calibration", core.Params{NoCalibration: true}},
+	{"no-gc-model", core.Params{NoGCModel: true}},
+}
+
+// Ablation measures prediction accuracy with model components removed,
+// on the multi-volume devices (where the volume model matters) and on
+// SSD A (where the GC model and calibrator carry the load).
+func Ablation(o Opts) AblationResult {
+	o = o.WithDefaults()
+	n := o.n(40000)
+	var res AblationResult
+
+	for _, devName := range []string{"A", "D", "E"} {
+		for _, variant := range ablationVariants {
+			seed := o.Seed + uint64(devName[0])*7
+			cfg, _ := ssd.Preset(devName, seed)
+			dev, feats, now, err := diagnosedDevice(cfg, seed)
+			if err != nil {
+				continue
+			}
+			pr := core.NewPredictor(feats, variant.p)
+			reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), seed+3, n)
+			rep := core.Evaluate(dev, pr, reqs, now)
+			res.Rows = append(res.Rows, AblationRow{
+				Device:  "SSD " + devName,
+				Variant: variant.name,
+				NL:      rep.NLAccuracy(),
+				HL:      rep.HLAccuracy(),
+			})
+		}
+	}
+
+	for _, q := range []float64{0.1, 0.25, 0.35, 0.5, 0.75, 0.9} {
+		seed := o.Seed + 1001
+		cfg, _ := ssd.Preset("A", seed)
+		dev, feats, now, err := diagnosedDevice(cfg, seed)
+		if err != nil {
+			continue
+		}
+		pr := core.NewPredictor(feats, core.Params{GCQuantile: q})
+		reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), seed+3, n)
+		rep := core.Evaluate(dev, pr, reqs, now)
+		res.GCQuantileSweep = append(res.GCQuantileSweep, GCQuantilePoint{
+			Quantile: q, NL: rep.NLAccuracy(), HL: rep.HLAccuracy(),
+		})
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate. Each experiment is a pure
+// function of its options, returns structured rows, and can render
+// itself as text; cmd/experiments prints them and the repository-level
+// benchmarks wrap them.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not the authors' testbed); the reproduced quantity is the shape — who
+// wins, by what rough factor, where the crossovers sit. EXPERIMENTS.md
+// records paper-vs-measured for every row.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// Opts control every experiment.
+type Opts struct {
+	// Seed drives all randomness; equal seeds give identical reports.
+	Seed uint64
+	// Scale multiplies request counts (1.0 = the defaults used in
+	// EXPERIMENTS.md; benches use smaller scales).
+	Scale float64
+}
+
+// WithDefaults fills zero fields.
+func (o Opts) WithDefaults() Opts {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+func (o Opts) n(base int) int {
+	n := int(float64(base) * o.Scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// Report is one regenerated table or figure.
+type Report interface {
+	// Name returns the paper artifact this reproduces ("Fig. 11", ...).
+	Name() string
+	// Render writes the rows as text.
+	Render(w io.Writer)
+}
+
+// diagOpts are the diagnosis probe sizes experiments use. The scan
+// covers bits 13..19 — comfortably around the ground-truth volume bits
+// 17/18 — at sample sizes that keep a full 7-device diagnosis around a
+// second.
+func diagOpts(seed uint64) extract.Opts {
+	return extract.Opts{
+		Seed:              seed,
+		MinBit:            13,
+		MaxBit:            19,
+		AllocWritesPerBit: 2500,
+		GCIntervals:       40,
+		Thinktimes:        []time.Duration{500 * time.Microsecond, time.Millisecond},
+	}
+}
+
+// preparedDevice preconditions a preset and returns it with its clock.
+func preparedDevice(cfg ssd.Config, seed uint64) (*ssd.Device, simclock.Time) {
+	dev := ssd.MustNew(cfg)
+	now := trace.Precondition(dev, seed, 1.3, 0)
+	return dev, now
+}
+
+// diagnosedDevice additionally runs the full diagnosis.
+func diagnosedDevice(cfg ssd.Config, seed uint64) (*ssd.Device, *extract.Features, simclock.Time, error) {
+	dev, now := preparedDevice(cfg, seed)
+	f, now, err := extract.Run(dev, now, diagOpts(seed))
+	return dev, f, now, err
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small runs everything at reduced scale so the whole suite stays fast.
+func small() Opts { return Opts{Seed: 42, Scale: 0.35} }
+
+func renderNonEmpty(t *testing.T, r Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("%s rendered nothing", r.Name())
+	}
+	return buf.String()
+}
+
+func TestFig01Shape(t *testing.T) {
+	r := Fig01(small())
+	if len(r.Devices) != 3 {
+		t.Fatalf("devices=%d", len(r.Devices))
+	}
+	for _, d := range r.Devices {
+		// The whole point of Fig. 1: tails far beyond the median.
+		if d.P999Us < 5*d.MedianUs {
+			t.Errorf("%s: p99.9 %.1fus not a long tail of median %.1fus", d.Name, d.P999Us, d.MedianUs)
+		}
+		if d.ThroughputCoV <= 0 {
+			t.Errorf("%s: no throughput fluctuation", d.Name)
+		}
+		if len(d.CDF) == 0 {
+			t.Errorf("%s: empty CDF", d.Name)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig03Shape(t *testing.T) {
+	r := Fig03(small())
+	if len(r.Variants) != 5 {
+		t.Fatalf("variants=%d", len(r.Variants))
+	}
+	byName := map[string]Fig03Variant{}
+	for _, v := range r.Variants {
+		byName[v.Name] = v
+	}
+	// Tail ordering: Optimal < WB+Others <= All; GC variants dominate.
+	if byName["SSD_WB+Others"].P995Us < 3*byName["SSD_Optimal"].P995Us {
+		t.Errorf("WB tail %.1f should be several x optimal %.1f",
+			byName["SSD_WB+Others"].P995Us, byName["SSD_Optimal"].P995Us)
+	}
+	if byName["SSD_All"].P995Us < byName["SSD_WB+Others"].P995Us {
+		t.Errorf("All tail should be >= WB tail")
+	}
+	// Fig. 3c: others dominate the op mix, WB > GC.
+	if r.PortionOthers < 0.85 || r.PortionWB < r.PortionGC {
+		t.Errorf("op mix off: others=%.3f wb=%.3f gc=%.3f", r.PortionOthers, r.PortionWB, r.PortionGC)
+	}
+	// Fig. 3d: WB+GC carry most of the HL overhead.
+	if r.OverheadWBShareHL+r.OverheadGCShareHL < 0.6 {
+		t.Errorf("HL overhead share %.2f too small", r.OverheadWBShareHL+r.OverheadGCShareHL)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig04Shape(t *testing.T) {
+	r := Fig04(small())
+	if len(r.Devices) != 2 {
+		t.Fatalf("devices=%d", len(r.Devices))
+	}
+	if len(r.Devices[0].DetectedBits) != 0 {
+		t.Errorf("SSD A detected bits %v, want none", r.Devices[0].DetectedBits)
+	}
+	if len(r.Devices[1].DetectedBits) != 1 || r.Devices[1].DetectedBits[0] != 17 {
+		t.Errorf("SSD D detected bits %v, want [17]", r.Devices[1].DetectedBits)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig05Shape(t *testing.T) {
+	r := Fig05(small())
+	wants := map[string][]int{"SSD A": nil, "SSD D": {17}, "SSD E": {17, 18}}
+	for _, d := range r.Devices {
+		want := wants[d.Name]
+		if len(d.DetectedBits) != len(want) {
+			t.Errorf("%s: bits %v want %v", d.Name, d.DetectedBits, want)
+			continue
+		}
+		for i := range want {
+			if d.DetectedBits[i] != want[i] {
+				t.Errorf("%s: bits %v want %v", d.Name, d.DetectedBits, want)
+			}
+		}
+		if d.GCOverheadMs < 5 {
+			t.Errorf("%s: GC overhead %.1fms implausible", d.Name, d.GCOverheadMs)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig06Shape(t *testing.T) {
+	r := Fig06(small())
+	if r.BufferKB != 248 {
+		t.Fatalf("buffer %dKB, want 248KB", r.BufferKB)
+	}
+	if r.PeriodWrites != 62 {
+		t.Fatalf("period %d writes, want 62", r.PeriodWrites)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(small())
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Err != nil {
+			t.Errorf("%s: %v", row.Device, row.Err)
+			continue
+		}
+		if !row.Match {
+			t.Errorf("%s: extraction does not match ground truth: %+v", row.Device, row.Features)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(small())
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if d := row.WriteFrac - row.TargetWrite; d > 0.03 || d < -0.03 {
+			t.Errorf("%s write frac %.3f vs target %.3f", row.Name, row.WriteFrac, row.TargetWrite)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(small())
+	// The paper's Table III: ~99% of requests under 250us.
+	if r.ReadBuckets[0] < 0.9 || r.WriteBuckets[0] < 0.9 {
+		t.Errorf("NL bucket too small: reads %.3f writes %.3f", r.ReadBuckets[0], r.WriteBuckets[0])
+	}
+	for _, b := range [][4]float64{r.ReadBuckets, r.WriteBuckets} {
+		sum := b[0] + b[1] + b[2] + b[3]
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("buckets do not sum to 1: %v", b)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11(Opts{Seed: 42, Scale: 0.2})
+	if len(r.Devices) != 7 || len(r.Workloads) != 7 {
+		t.Fatalf("grid %dx%d", len(r.Devices), len(r.Workloads))
+	}
+	for _, d := range r.Devices {
+		if d.DiagnosisErr != nil {
+			t.Errorf("%s: %v", d.Name, d.DiagnosisErr)
+			continue
+		}
+		if d.MeanNL < 0.95 {
+			t.Errorf("%s: mean NL accuracy %.3f below 0.95", d.Name, d.MeanNL)
+		}
+		// SSD E carries the heaviest unmodeled secondary features by
+		// design (lowest HL accuracy in the paper's Fig. 11 as well).
+		floor := 0.30
+		if d.Name == "SSD E" {
+			floor = 0.18
+		}
+		if d.MeanHL < floor {
+			t.Errorf("%s: mean HL accuracy %.3f below %.2f", d.Name, d.MeanHL, floor)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12(Opts{Seed: 42, Scale: 0.3})
+	if len(r.Combos) != 9 {
+		t.Fatalf("combos=%d", len(r.Combos))
+	}
+	if r.MeanGain <= 1.2 {
+		t.Errorf("VA-LVM mean gain %.2fx should clearly beat Linear", r.MeanGain)
+	}
+	if r.MeanTailPct >= 100 {
+		t.Errorf("VA-LVM mean tail %.1f%% should be below Linear", r.MeanTailPct)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := Fig13(Opts{Seed: 42, Scale: 0.4})
+	if len(r.Schedulers) != 4 {
+		t.Fatalf("schedulers=%d", len(r.Schedulers))
+	}
+	byName := map[string]Fig13Sched{}
+	for _, s := range r.Schedulers {
+		byName[s.Name] = s
+	}
+	// At the flush-dominated measurement point (the paper's metric),
+	// PAS must beat noop clearly.
+	if byName["pas"].TailUs >= byName["noop"].TailUs {
+		t.Errorf("PAS tail %.1f should beat noop %.1f at the flush point", byName["pas"].TailUs, byName["noop"].TailUs)
+	}
+	if byName["pas"].MedianUs > 1.5*byName["noop"].MedianUs {
+		t.Errorf("PAS median %.1f should not regress vs noop %.1f", byName["pas"].MedianUs, byName["noop"].MedianUs)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := Fig14(Opts{Seed: 42, Scale: 0.25})
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells=%d", len(r.Cells))
+	}
+	betterTail, thptOK := 0, 0
+	for _, c := range r.Cells {
+		for _, row := range c.Rows {
+			if row.Scheduler != "pas" {
+				continue
+			}
+			if row.TailVsNoop < 1 {
+				betterTail++
+			}
+			if row.ThptVsNoop > 0.9 {
+				thptOK++
+			}
+		}
+	}
+	if betterTail < 4 {
+		t.Errorf("PAS beat noop's read tail in only %d of 6 cells", betterTail)
+	}
+	if thptOK < 5 {
+		t.Errorf("PAS throughput held up in only %d of 6 cells", thptOK)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := Fig15(Opts{Seed: 42, Scale: 0.5})
+	// Steady mean throughput lands at parity in this substrate: all
+	// write bytes reach the SSD eventually under either policy, so the
+	// paper's 2.1x mean gain is not reproducible here (work
+	// conservation; see EXPERIMENTS.md). What must hold is that Hybrid
+	// PAS never *loses* meaningfully, and that the robust panels —
+	// write tail and NVM pressure — clearly favor it.
+	if r.SteadyGain < 0.85 || r.SteadyGain > 1.6 {
+		t.Errorf("hybrid steady gain %.2fx outside the parity band", r.SteadyGain)
+	}
+	if r.WriteTailHybrid >= r.WriteTailBaseline {
+		t.Errorf("hybrid write tail %v should beat baseline %v", r.WriteTailHybrid, r.WriteTailBaseline)
+	}
+	for _, p := range r.Pressure {
+		if p.ReductionPct <= 0 {
+			t.Errorf("%s: no NVM pressure reduction (%.1f%%)", p.Device, p.ReductionPct)
+		}
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if len(Names()) != 17 {
+		t.Fatalf("registry has %d entries", len(Names()))
+	}
+	var buf bytes.Buffer
+	if err := Run("fig6", small(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 6") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+	if err := Run("nope", small(), &buf); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r := Ablation(Opts{Seed: 42, Scale: 0.3})
+	get := func(dev, variant string) AblationRow {
+		for _, row := range r.Rows {
+			if row.Device == dev && row.Variant == variant {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s", dev, variant)
+		return AblationRow{}
+	}
+	// The paper's prose claims, as numbers: removing the calibrator
+	// collapses HL accuracy; removing the volume model hurts the
+	// multi-volume D badly.
+	if full, no := get("SSD A", "full"), get("SSD A", "no-calibration"); full.HL-no.HL < 0.2 {
+		t.Errorf("calibrator worth only %.1fpp HL on A (full %.2f, without %.2f)",
+			100*(full.HL-no.HL), full.HL, no.HL)
+	}
+	if full, no := get("SSD D", "full"), get("SSD D", "no-volume-model"); full.HL-no.HL < 0.1 {
+		t.Errorf("volume model worth only %.1fpp HL on D (full %.2f, without %.2f)",
+			100*(full.HL-no.HL), full.HL, no.HL)
+	}
+	if len(r.GCQuantileSweep) != 6 {
+		t.Fatalf("sweep points=%d", len(r.GCQuantileSweep))
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestSLCExtensionShape(t *testing.T) {
+	r := SLCExtension(Opts{Seed: 42, Scale: 0.5})
+	if r.DiagnosisFailed {
+		t.Fatal("diagnosis failed on SSD H")
+	}
+	if r.DetectedPages < r.GroundTruth/2 || r.DetectedPages > r.GroundTruth*2 {
+		t.Fatalf("SLC size %d vs ground truth %d", r.DetectedPages, r.GroundTruth)
+	}
+	// The history-based detector must carry the fold prediction: with
+	// it off, fold stalls are unpredictable.
+	if r.HLFull < 0.4 {
+		t.Fatalf("full-model HL accuracy %.2f too low on SSD H", r.HLFull)
+	}
+	if r.HLFull-r.HLNoGC < 0.3 {
+		t.Fatalf("history detector worth only %.1fpp on SSD H (full %.2f, off %.2f)",
+			100*(r.HLFull-r.HLNoGC), r.HLFull, r.HLNoGC)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestFIOSShape(t *testing.T) {
+	r := FIOS(Opts{Seed: 42, Scale: 0.4})
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+	better := 0
+	for _, row := range r.Rows {
+		if row.AssistedP50 < row.ClassicP50 {
+			better++
+		}
+		// Lifting the assumption must not cost meaningful throughput.
+		if row.AssistedMBps < 0.9*row.ClassicMBps {
+			t.Errorf("%s: assisted throughput %.2f collapsed vs classic %.2f",
+				row.Workload, row.AssistedMBps, row.ClassicMBps)
+		}
+	}
+	if better < 2 {
+		t.Errorf("assisted FIOS improved the read median in only %d of 3 workloads", better)
+	}
+	renderNonEmpty(t, r)
+}
+
+func TestQDSweepShape(t *testing.T) {
+	r := QDSweep(Opts{Seed: 42, Scale: 0.3})
+	if len(r.Points) != 4 {
+		t.Fatalf("points=%d", len(r.Points))
+	}
+	// The host queue reorders at any device depth: PAS must beat noop
+	// at the flush point everywhere, and deeper device concurrency
+	// must not make noop's absolute tail worse.
+	for _, p := range r.Points {
+		if p.TailRatio >= 1.0 {
+			t.Errorf("depth %d: PAS ratio %.2f did not beat noop", p.Depth, p.TailRatio)
+		}
+	}
+	if last, first := r.Points[len(r.Points)-1], r.Points[0]; last.NoopTail > first.NoopTail*3/2 {
+		t.Errorf("noop tail grew with device concurrency: %v -> %v", first.NoopTail, last.NoopTail)
+	}
+	renderNonEmpty(t, r)
+}
+
+// TestExperimentsDeterministic pins the repository's headline promise:
+// a run is a pure function of its seed, end to end.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, name := range []string{"fig6", "table3", "fig4"} {
+		var a, b bytes.Buffer
+		if err := Run(name, Opts{Seed: 7, Scale: 0.3}, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(name, Opts{Seed: 7, Scale: 0.3}, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic:\n%s\nvs\n%s", name, a.String(), b.String())
+		}
+		var c bytes.Buffer
+		if err := Run(name, Opts{Seed: 8, Scale: 0.3}, &c); err != nil {
+			t.Fatal(err)
+		}
+		if name != "fig6" && a.String() == c.String() {
+			t.Errorf("%s ignored the seed entirely", name)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"io"
+
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// SLCExtensionResult covers the paper's first future-work item (§VI):
+// SLC caching. Preset H (not in the paper's Table I) folds an SLC cache
+// region into MLC with a page-exact period; the diagnosis detects the
+// region size, and — the point of the experiment — SSDcheck's
+// history-based GC model absorbs the fold periodicity without any code
+// change, because folds are exactly the kind of flush-counted periodic
+// stall the interval distribution captures.
+type SLCExtensionResult struct {
+	TableRow        string
+	DetectedPages   int
+	GroundTruth     int
+	FoldOverheadMs  float64
+	NLFull, HLFull  float64 // accuracy with the full model
+	NLNoGC, HLNoGC  float64 // accuracy with the history detector off
+	DiagnosisFailed bool
+}
+
+// Name implements Report.
+func (SLCExtensionResult) Name() string { return "SLC extension" }
+
+// Render implements Report.
+func (r SLCExtensionResult) Render(w io.Writer) {
+	fprintf(w, "SLC-cache extension (paper §VI future work) — SSD H\n")
+	if r.DiagnosisFailed {
+		fprintf(w, "diagnosis failed\n")
+		return
+	}
+	fprintf(w, "extracted: %s + SLC cache %d pages (ground truth %d), fold stall ~%.1f ms\n",
+		r.TableRow, r.DetectedPages, r.GroundTruth, r.FoldOverheadMs)
+	fprintf(w, "prediction on WriteBurst:  full model NL %.1f%% / HL %.1f%%\n", 100*r.NLFull, 100*r.HLFull)
+	fprintf(w, "        history detector off: NL %.1f%% / HL %.1f%%\n", 100*r.NLNoGC, 100*r.HLNoGC)
+	fprintf(w, "(the GC model's interval history predicts the fold cadence unchanged)\n")
+}
+
+// SLCExtension runs the extension experiment.
+func SLCExtension(o Opts) SLCExtensionResult {
+	o = o.WithDefaults()
+	var res SLCExtensionResult
+	res.GroundTruth = 8 * 64 // SLCBlocks x usable pages per block
+
+	cfg := ssd.PresetH(o.Seed)
+	_, feats, _, err := diagnosedDevice(cfg, o.Seed)
+	if err != nil {
+		res.DiagnosisFailed = true
+		return res
+	}
+	res.TableRow = feats.TableRow("SSD H")
+	res.DetectedPages = feats.SLCCachePages
+	res.FoldOverheadMs = float64(feats.SLCFoldOverhead) / 1e6
+
+	run := func(p core.Params) core.AccuracyReport {
+		dev, now := preparedDevice(cfg, o.Seed+5)
+		pr := core.NewPredictor(feats, p)
+		reqs := trace.Generate(trace.WriteBurst, dev.CapacitySectors(), o.Seed+7, o.n(40000))
+		return core.Evaluate(dev, pr, reqs, now)
+	}
+	full := run(core.Params{})
+	res.NLFull, res.HLFull = full.NLAccuracy(), full.HLAccuracy()
+	noGC := run(core.Params{NoGCModel: true})
+	res.NLNoGC, res.HLNoGC = noGC.NLAccuracy(), noGC.HLAccuracy()
+	return res
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/stats"
+	"ssdcheck/internal/trace"
+)
+
+// Fig01Result reproduces Fig. 1: irregular behaviors in commodity SSDs —
+// (a) long latency tails per device, (b) throughput fluctuation over
+// time and across devices.
+type Fig01Result struct {
+	Devices []Fig01Device
+}
+
+// Fig01Device is one SSD's row.
+type Fig01Device struct {
+	Name          string
+	CDF           []stats.CDFPoint // latency CDF in microseconds
+	MedianUs      float64
+	P99Us, P999Us float64
+	MeanMBps      float64
+	ThroughputCoV float64 // fluctuation measure of Fig. 1b
+}
+
+// Name implements Report.
+func (Fig01Result) Name() string { return "Fig. 1" }
+
+// Render implements Report.
+func (r Fig01Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 1 — irregular behaviors (random 4KB writes+reads)\n")
+	fprintf(w, "%-8s %10s %10s %10s %10s %8s\n", "SSD", "median(us)", "p99(us)", "p99.9(us)", "MB/s", "CoV")
+	for _, d := range r.Devices {
+		fprintf(w, "%-8s %10.1f %10.1f %10.1f %10.2f %8.3f\n",
+			d.Name, d.MedianUs, d.P99Us, d.P999Us, d.MeanMBps, d.ThroughputCoV)
+	}
+}
+
+// Fig01 runs the synthetic random write+read benchmark of Fig. 1 on
+// three commodity presets and summarizes tails and throughput
+// fluctuation.
+func Fig01(o Opts) Fig01Result {
+	o = o.WithDefaults()
+	var res Fig01Result
+	for _, name := range []string{"A", "D", "F"} {
+		cfg, err := ssd.Preset(name, o.Seed)
+		if err != nil {
+			panic(err)
+		}
+		dev, now := preparedDevice(cfg, o.Seed)
+		gen := trace.NewGenerator(trace.RWMixed, dev.CapacitySectors(), o.Seed+7)
+		log, _ := trace.ReplayGenerator(dev, gen, o.n(60000), trace.ReplayOptions{Start: now})
+
+		var lat stats.Sample
+		ts := stats.NewThroughputSeries(0.2)
+		for _, c := range log {
+			lat.Add(c.Latency().Sub(0).Seconds() * 1e6)
+			ts.Record(c.Done.Sub(now).Seconds(), c.Req.Bytes())
+		}
+		res.Devices = append(res.Devices, Fig01Device{
+			Name:          dev.Name(),
+			CDF:           lat.CDF(40),
+			MedianUs:      lat.Percentile(50),
+			P99Us:         lat.Percentile(99),
+			P999Us:        lat.Percentile(99.9),
+			MeanMBps:      ts.Mean(),
+			ThroughputCoV: ts.CoefficientOfVariation(),
+		})
+	}
+	return res
+}

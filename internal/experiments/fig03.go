@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"io"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/stats"
+	"ssdcheck/internal/trace"
+)
+
+// Fig03Result reproduces the prototype-SSD ablation of Fig. 3: the
+// performance impact of write buffering and garbage collection.
+type Fig03Result struct {
+	Variants []Fig03Variant // (a)+(b): tails and throughput per variant
+	// (c) operation mix on the full prototype.
+	PortionOthers, PortionWB, PortionGC float64
+	// (d) latency-overhead breakdown, all requests and HL-only.
+	OverheadWBShare, OverheadGCShare     float64
+	OverheadWBShareHL, OverheadGCShareHL float64
+}
+
+// Fig03Variant is one prototype configuration's measurement.
+type Fig03Variant struct {
+	Name            string
+	P995Us          float64
+	P997Us          float64 // one step deeper, where the GC events live
+	TailVsOptimal   float64 // the paper's 8.24x / 46.67x / 47.12x ratios
+	MeanMBps        float64
+	ThroughputCoV   float64
+	MedianLatencyUs float64
+}
+
+// Name implements Report.
+func (Fig03Result) Name() string { return "Fig. 3" }
+
+// Render implements Report.
+func (r Fig03Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 3 — prototype ablation (4KB random writes)\n")
+	fprintf(w, "%-14s %12s %12s %10s %10s %8s\n", "variant", "p99.5(us)", "p99.7(us)", "vs optimal", "MB/s", "CoV")
+	for _, v := range r.Variants {
+		fprintf(w, "%-14s %12.1f %12.1f %9.2fx %10.2f %8.3f\n", v.Name, v.P995Us, v.P997Us, v.TailVsOptimal, v.MeanMBps, v.ThroughputCoV)
+	}
+	fprintf(w, "(c) op mix:   others %.2f%%  WB %.2f%%  GC %.2f%%\n",
+		100*r.PortionOthers, 100*r.PortionWB, 100*r.PortionGC)
+	fprintf(w, "(d) overhead: WB+GC share of all overhead %.1f%%, of HL overhead %.1f%%\n",
+		100*(r.OverheadWBShare+r.OverheadGCShare), 100*(r.OverheadWBShareHL+r.OverheadGCShareHL))
+}
+
+// Fig03 measures the five prototype variants under sustained 4KB random
+// writes and computes the Fig. 3c/3d attributions on the full prototype.
+func Fig03(o Opts) Fig03Result {
+	o = o.WithDefaults()
+	n := o.n(40000)
+	variants := []ssd.Config{
+		ssd.ProtoOptimal(o.Seed), ssd.ProtoOthers(o.Seed), ssd.ProtoWB(o.Seed),
+		ssd.ProtoGC(o.Seed), ssd.ProtoAll(o.Seed),
+	}
+	var res Fig03Result
+	var optimalTail float64
+
+	for _, cfg := range variants {
+		dev, now := preparedDevice(cfg, o.Seed)
+		gen := trace.NewGenerator(randomWriteSpec(), dev.CapacitySectors(), o.Seed+3)
+
+		var lat stats.Sample
+		ts := stats.NewThroughputSeries(0.2)
+		var log []blockdev.Completion
+		t := now
+		for i := 0; i < n; i++ {
+			req := gen.Next()
+			done, cause := dev.SubmitTagged(req, t)
+			log = append(log, blockdev.Completion{Req: req, Submit: t, Done: done, Cause: cause})
+			lat.Add(done.Sub(t).Seconds() * 1e6)
+			ts.Record(done.Sub(now).Seconds(), req.Bytes())
+			t = done
+		}
+
+		v := Fig03Variant{
+			Name:            cfg.Name,
+			P995Us:          lat.Percentile(99.5),
+			P997Us:          lat.Percentile(99.7),
+			MeanMBps:        ts.Mean(),
+			ThroughputCoV:   ts.CoefficientOfVariation(),
+			MedianLatencyUs: lat.Percentile(50),
+		}
+		if cfg.Name == "SSD_Optimal" {
+			optimalTail = v.P995Us
+		}
+		if optimalTail > 0 {
+			v.TailVsOptimal = v.P995Us / optimalTail
+		}
+		res.Variants = append(res.Variants, v)
+
+		if cfg.Name == "SSD_All" {
+			res.attribute(log)
+		}
+	}
+	return res
+}
+
+// randomWriteSpec is the prototype benchmark: pure 4KB random writes
+// over a modest working set (synthetic benchmarks rarely span a whole
+// device; the hot set keeps GC victims largely self-invalidated, which
+// is what makes the prototype's GC short but frequent, as in Fig. 3).
+func randomWriteSpec() trace.Spec {
+	return trace.Spec{Name: "rand4k-write", Requests: 1 << 30, WriteFrac: 1,
+		RandomFrac: 1, WorkingSetFrac: 0.35, SizesPages: []int{1}}
+}
+
+// attribute computes the Fig. 3c mix and Fig. 3d overhead breakdown from
+// the full prototype's tagged completions. "Overhead" is latency beyond
+// the variant's own NL baseline.
+func (r *Fig03Result) attribute(log []blockdev.Completion) {
+	var base stats.Sample
+	for _, c := range log {
+		if c.Cause == blockdev.CauseNone {
+			base.Add(float64(c.Latency()))
+		}
+	}
+	baseline := simclock.Time(base.Percentile(50))
+
+	var nWB, nGC, nOther int
+	var ovWB, ovGC, ovOther float64
+	var ovWBHL, ovGCHL, ovOtherHL float64
+	for _, c := range log {
+		over := float64(c.Latency() - baseline)
+		if over < 0 {
+			over = 0
+		}
+		hl := c.Latency() > baseline+simclock.Time(220*simclock.Microsecond)
+		switch c.Cause {
+		case blockdev.CauseFlush, blockdev.CauseBackpressure, blockdev.CauseReadTrigger:
+			nWB++
+			ovWB += over
+			if hl {
+				ovWBHL += over
+			}
+		case blockdev.CauseGC:
+			nGC++
+			ovGC += over
+			if hl {
+				ovGCHL += over
+			}
+		default:
+			nOther++
+			ovOther += over
+			if hl {
+				ovOtherHL += over
+			}
+		}
+	}
+	total := float64(len(log))
+	r.PortionOthers = float64(nOther) / total
+	r.PortionWB = float64(nWB) / total
+	r.PortionGC = float64(nGC) / total
+
+	if sum := ovWB + ovGC + ovOther; sum > 0 {
+		r.OverheadWBShare = ovWB / sum
+		r.OverheadGCShare = ovGC / sum
+	}
+	if sum := ovWBHL + ovGCHL + ovOtherHL; sum > 0 {
+		r.OverheadWBShareHL = ovWBHL / sum
+		r.OverheadGCShareHL = ovGCHL / sum
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// Fig11Result reproduces the headline accuracy evaluation of Fig. 11:
+// NL and HL prediction accuracy for every workload on every preset.
+type Fig11Result struct {
+	Workloads []string
+	Devices   []Fig11Device
+}
+
+// Fig11Device is one SSD's accuracy row.
+type Fig11Device struct {
+	Name string
+	// NL and HL accuracies per workload, aligned with
+	// Fig11Result.Workloads, plus the averages the paper quotes.
+	NL, HL         []float64
+	MeanNL, MeanHL float64
+	Enabled        bool
+	DiagnosisErr   error
+}
+
+// Name implements Report.
+func (Fig11Result) Name() string { return "Fig. 11" }
+
+// Render implements Report.
+func (r Fig11Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 11 — prediction accuracy (NL%% / HL%%)\n")
+	fprintf(w, "%-8s", "SSD")
+	for _, wl := range r.Workloads {
+		fprintf(w, " %13s", wl)
+	}
+	fprintf(w, " %13s\n", "average")
+	for _, d := range r.Devices {
+		fprintf(w, "%-8s", d.Name)
+		if d.DiagnosisErr != nil {
+			fprintf(w, " diagnosis failed: %v\n", d.DiagnosisErr)
+			continue
+		}
+		for i := range d.NL {
+			fprintf(w, "  %5.1f /%5.1f", 100*d.NL[i], 100*d.HL[i])
+		}
+		fprintf(w, "  %5.1f /%5.1f\n", 100*d.MeanNL, 100*d.MeanHL)
+	}
+}
+
+// Fig11 runs the paper's accuracy methodology: per device, run the
+// diagnosis once, build the predictor, then replay each of the seven
+// workloads, scoring predictions against measured latency classes. Each
+// workload starts from a freshly preconditioned, freshly diagnosed
+// device so workloads do not contaminate each other, exactly like the
+// paper's per-trace fio runs.
+func Fig11(o Opts) Fig11Result {
+	o = o.WithDefaults()
+	res := Fig11Result{}
+	for _, spec := range trace.Workloads {
+		res.Workloads = append(res.Workloads, spec.Name)
+	}
+	n := o.n(40000)
+
+	for i, name := range ssd.PresetNames {
+		row := Fig11Device{Name: "SSD " + name, Enabled: true}
+		for j, spec := range trace.Workloads {
+			seed := o.Seed + uint64(i)*131 + uint64(j)*17
+			cfg, _ := ssd.Preset(name, seed)
+			dev, feats, now, err := diagnosedDevice(cfg, seed)
+			if err != nil {
+				row.DiagnosisErr = err
+				break
+			}
+			pr := core.NewPredictor(feats, core.Params{})
+			reqs := trace.Generate(spec, dev.CapacitySectors(), seed+999, n)
+			rep := core.Evaluate(dev, pr, reqs, now)
+			row.NL = append(row.NL, rep.NLAccuracy())
+			row.HL = append(row.HL, rep.HLAccuracy())
+			row.Enabled = row.Enabled && pr.Enabled()
+		}
+		if row.DiagnosisErr == nil {
+			for i := range row.NL {
+				row.MeanNL += row.NL[i]
+				row.MeanHL += row.HL[i]
+			}
+			row.MeanNL /= float64(len(row.NL))
+			row.MeanHL /= float64(len(row.HL))
+		}
+		res.Devices = append(res.Devices, row)
+	}
+	return res
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"ssdcheck/internal/lvm"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// Fig12Result reproduces the VA-LVM evaluation of Fig. 12: all nine
+// read-intensive x write-intensive tenant combinations on SSD D, with
+// throughput and 99.5th-percentile latency of the read-intensive tenant
+// normalized to Linear-LVM.
+type Fig12Result struct {
+	Combos []Fig12Combo
+	// Aggregates the paper quotes: mean/max throughput gain, mean/min
+	// normalized tail.
+	MeanGain, MaxGain       float64
+	MeanTailPct, MinTailPct float64
+}
+
+// Fig12Combo is one workload pairing.
+type Fig12Combo struct {
+	ReadWorkload, WriteWorkload  string
+	LinearReadMBps, VAReadMBps   float64
+	LinearTail, VATail           time.Duration // 99.5th pct of the read tenant
+	WriteLinearMBps, WriteVAMBps float64
+}
+
+// ThroughputGain returns VA/Linear read-tenant throughput.
+func (c Fig12Combo) ThroughputGain() float64 {
+	if c.LinearReadMBps == 0 {
+		return 0
+	}
+	return c.VAReadMBps / c.LinearReadMBps
+}
+
+// TailPct returns VA tail as a percentage of Linear tail (the paper's
+// "down to 6.53%" metric).
+func (c Fig12Combo) TailPct() float64 {
+	if c.LinearTail == 0 {
+		return 0
+	}
+	return 100 * float64(c.VATail) / float64(c.LinearTail)
+}
+
+// Name implements Report.
+func (Fig12Result) Name() string { return "Fig. 12" }
+
+// Render implements Report.
+func (r Fig12Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 12 — VA-LVM vs Linear-LVM on SSD D (read tenant metrics)\n")
+	fprintf(w, "%-14s %8s %8s %7s %10s %10s %7s\n",
+		"combo", "lin MB/s", "va MB/s", "gain", "lin p99.5", "va p99.5", "tail%")
+	for _, c := range r.Combos {
+		fprintf(w, "%-14s %8.2f %8.2f %6.2fx %10s %10s %6.1f%%\n",
+			c.ReadWorkload+"+"+c.WriteWorkload,
+			c.LinearReadMBps, c.VAReadMBps, c.ThroughputGain(),
+			c.LinearTail.Round(10*time.Microsecond), c.VATail.Round(10*time.Microsecond), c.TailPct())
+	}
+	fprintf(w, "gain: mean %.2fx max %.2fx; tail: mean %.1f%% best %.1f%% of Linear\n",
+		r.MeanGain, r.MaxGain, r.MeanTailPct, r.MinTailPct)
+}
+
+// Fig12 runs all nine tenant combinations under both volume managers.
+func Fig12(o Opts) Fig12Result {
+	o = o.WithDefaults()
+	window := time.Duration(float64(2*time.Second) * o.Scale)
+	if window < 300*time.Millisecond {
+		window = 300 * time.Millisecond
+	}
+
+	run := func(read, write trace.Spec, mapper func(cap int64) lvm.Mapper, seed uint64) (lvm.TenantResult, lvm.TenantResult) {
+		dev, now := preparedDevice(ssd.PresetD(seed), seed)
+		res := lvm.RunMultiTenant(dev, mapper(dev.CapacitySectors()), []lvm.TenantSpec{
+			{Name: "read", Workload: read, Seed: seed + 1},
+			{Name: "write", Workload: write, Seed: seed + 2},
+		}, now, window)
+		return res[0], res[1]
+	}
+
+	var res Fig12Result
+	res.MinTailPct = 1e18
+	for i, read := range trace.ReadIntensive {
+		for j, write := range trace.WriteIntensive {
+			seed := o.Seed + uint64(i)*37 + uint64(j)*113
+			linR, linW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewLinear(c, 2) }, seed)
+			vaR, vaW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewVolumeAware(c, []int{17}) }, seed)
+
+			combo := Fig12Combo{
+				ReadWorkload:    read.Name,
+				WriteWorkload:   write.Name,
+				LinearReadMBps:  linR.ThroughputMBps(window),
+				VAReadMBps:      vaR.ThroughputMBps(window),
+				LinearTail:      linR.TailLatency(0.995),
+				VATail:          vaR.TailLatency(0.995),
+				WriteLinearMBps: linW.ThroughputMBps(window),
+				WriteVAMBps:     vaW.ThroughputMBps(window),
+			}
+			res.Combos = append(res.Combos, combo)
+			res.MeanGain += combo.ThroughputGain()
+			if g := combo.ThroughputGain(); g > res.MaxGain {
+				res.MaxGain = g
+			}
+			res.MeanTailPct += combo.TailPct()
+			if p := combo.TailPct(); p < res.MinTailPct {
+				res.MinTailPct = p
+			}
+		}
+	}
+	n := float64(len(res.Combos))
+	res.MeanGain /= n
+	res.MeanTailPct /= n
+	return res
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/sched"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/stats"
+	"ssdcheck/internal/trace"
+)
+
+// schedulerNames is the Fig. 13/14 lineup.
+var schedulerNames = []string{"noop", "deadline", "cfq", "pas", "ideal"}
+
+// makeSched builds one scheduler instance for the given (already
+// prepared) device. PAS's predictor comes from a diagnosis of a separate
+// clone so the measured device state stays identical across schedulers.
+func makeSched(dev *ssd.Device, cfg ssd.Config, seed uint64, schedName string) host.Scheduler {
+	switch schedName {
+	case "noop":
+		return sched.NewNoop()
+	case "deadline":
+		return sched.NewDeadline()
+	case "cfq":
+		return sched.NewCFQ()
+	case "pas":
+		_, feats, _, err := diagnosedDevice(cfg, seed)
+		if err != nil {
+			panic(err)
+		}
+		return sched.NewPAS(core.NewPredictor(feats, core.Params{}))
+	case "ideal":
+		return sched.NewIdealPAS(func(req blockdev.Request, at simclock.Time, pending int) bool {
+			return dev.WouldStallReadAfterWrites(req.LBA, at, pending)
+		})
+	default:
+		panic("unknown scheduler " + schedName)
+	}
+}
+
+// schedCell runs one (device, workload, scheduler) cell twice: an
+// open-loop run at moderate load for latency distributions, and a
+// saturated closed-loop run for service-capability throughput. The seed
+// depends only on the cell, so every scheduler faces byte-identical
+// request streams, arrival times and device state.
+func schedCell(devName string, spec trace.Spec, schedName string, o Opts) (open, closed []host.Record) {
+	seed := o.Seed + uint64(devName[0])*977 + uint64(len(spec.Name))*31
+	cfg, err := ssd.Preset(devName, seed)
+	if err != nil {
+		panic(err)
+	}
+
+	// Open loop: latency under moderate load.
+	dev, now := preparedDevice(cfg, seed)
+	reqs := trace.Generate(spec, dev.CapacitySectors(), seed+5, o.n(12000))
+	gap, now := host.CalibrateMeanGap(dev, spec, seed+6, o.n(1500), 0.45, now)
+	arr := host.OpenLoopArrivals(reqs, gap, seed+7)
+	for i := range arr {
+		arr[i].At += now
+	}
+	open = host.Drive(dev, makeSched(dev, cfg, seed, schedName), arr)
+
+	// Closed loop: pure service capability at queue depth 16.
+	dev2, now2 := preparedDevice(cfg, seed)
+	closed = host.DriveClosedLoop(dev2, makeSched(dev2, cfg, seed, schedName), reqs, 16, now2)
+	return open, closed
+}
+
+// flushPercentile finds the measurement point the paper uses for each
+// (SSD, workload) pair: the highest percentile still dominated by
+// buffer-flush latency rather than garbage collection (the paper's
+// 94.0%-99.0% "distinct points", §V-D). It is derived from the noop
+// read-latency distribution: just below the mass of >=5 ms GC waits.
+func flushPercentile(noopReads []host.Record) float64 {
+	if len(noopReads) == 0 {
+		return 0.99
+	}
+	var lat stats.Sample
+	for _, r := range noopReads {
+		lat.Add(float64(r.Latency()))
+	}
+	q := lat.CDFAt(float64(5*time.Millisecond)) - 0.005
+	if q > 0.995 {
+		q = 0.995
+	}
+	if q < 0.90 {
+		q = 0.90
+	}
+	return q
+}
+
+// Fig13Result reproduces Fig. 13: the read-latency tail distribution of
+// Build on SSD G under the four schedulers.
+type Fig13Result struct {
+	Device, Workload string
+	// MeasurePct is the flush-dominated percentile used for TailUs.
+	MeasurePct float64
+	Schedulers []Fig13Sched
+}
+
+// Fig13Sched is one scheduler's read-latency distribution.
+type Fig13Sched struct {
+	Name     string
+	CDF      []stats.CDFPoint // read latency CDF (us)
+	MedianUs float64
+	P90Us    float64
+	TailUs   float64 // at MeasurePct
+	P99Us    float64
+}
+
+// Name implements Report.
+func (Fig13Result) Name() string { return "Fig. 13" }
+
+// Render implements Report.
+func (r Fig13Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 13 — read tail latency of %s on %s (measure point %.1f%%)\n",
+		r.Workload, r.Device, 100*r.MeasurePct)
+	fprintf(w, "%-10s %12s %12s %14s %12s\n", "scheduler", "median(us)", "p90(us)", "tail@point(us)", "p99(us)")
+	for _, s := range r.Schedulers {
+		fprintf(w, "%-10s %12.1f %12.1f %14.1f %12.1f\n", s.Name, s.MedianUs, s.P90Us, s.TailUs, s.P99Us)
+	}
+}
+
+// Fig13 runs Build on SSD G under noop/deadline/cfq/PAS.
+func Fig13(o Opts) Fig13Result {
+	o = o.WithDefaults()
+	res := Fig13Result{Device: "SSD G", Workload: "Build"}
+	var samples []stats.Sample
+	for _, name := range []string{"noop", "deadline", "cfq", "pas"} {
+		open, _ := schedCell("G", trace.Build, name, o)
+		reads := host.FilterOp(open, blockdev.Read)
+		if name == "noop" {
+			res.MeasurePct = flushPercentile(reads)
+		}
+		var lat stats.Sample
+		for _, rec := range reads {
+			lat.Add(rec.Latency().Seconds() * 1e6)
+		}
+		samples = append(samples, lat)
+		res.Schedulers = append(res.Schedulers, Fig13Sched{Name: name})
+	}
+	for i := range res.Schedulers {
+		s := &samples[i]
+		res.Schedulers[i].CDF = s.CDF(40)
+		res.Schedulers[i].MedianUs = s.Percentile(50)
+		res.Schedulers[i].P90Us = s.Percentile(90)
+		res.Schedulers[i].TailUs = s.Percentile(100 * res.MeasurePct)
+		res.Schedulers[i].P99Us = s.Percentile(99)
+	}
+	return res
+}
+
+// Fig14Result reproduces Fig. 14: read tail latency (at each pair's
+// flush-dominated measurement point) and saturated throughput of
+// Build/Exch/Live on SSDs F and G, normalized to noop, including the
+// misprediction-cost gap to the ideal oracle.
+type Fig14Result struct {
+	Cells []Fig14Cell
+}
+
+// Fig14Cell is one (workload, device) pair's scheduler comparison.
+type Fig14Cell struct {
+	Workload, Device string
+	MeasurePct       float64
+	Rows             []Fig14Row
+}
+
+// Fig14Row is one scheduler's normalized metrics.
+type Fig14Row struct {
+	Scheduler      string
+	ReadTail       time.Duration // at the cell's measurement point
+	TailVsNoop     float64
+	ThroughputMBps float64 // saturated closed-loop service rate
+	ThptVsNoop     float64
+}
+
+// Name implements Report.
+func (Fig14Result) Name() string { return "Fig. 14" }
+
+// Render implements Report.
+func (r Fig14Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 14 — scheduler comparison (read tail at flush point, saturated throughput; normalized to noop)\n")
+	for _, c := range r.Cells {
+		fprintf(w, "%s on %s (measure point %.1f%%):\n", c.Workload, c.Device, 100*c.MeasurePct)
+		for _, row := range c.Rows {
+			fprintf(w, "  %-10s tail %10s (%.2fx noop)   thpt %7.2f MB/s (%.2fx noop)\n",
+				row.Scheduler, row.ReadTail.Round(10*time.Microsecond), row.TailVsNoop,
+				row.ThroughputMBps, row.ThptVsNoop)
+		}
+	}
+}
+
+// Fig14 runs the full scheduler sweep.
+func Fig14(o Opts) Fig14Result {
+	o = o.WithDefaults()
+	var res Fig14Result
+	for _, spec := range []trace.Spec{trace.Build, trace.Exch, trace.Live} {
+		for _, devName := range []string{"F", "G"} {
+			cell := Fig14Cell{Workload: spec.Name, Device: "SSD " + devName}
+			type cellRun struct {
+				reads  []host.Record
+				closed []host.Record
+			}
+			runs := map[string]cellRun{}
+			for _, schedName := range schedulerNames {
+				open, closed := schedCell(devName, spec, schedName, o)
+				runs[schedName] = cellRun{reads: host.FilterOp(open, blockdev.Read), closed: closed}
+			}
+			cell.MeasurePct = flushPercentile(runs["noop"].reads)
+
+			var noopTail time.Duration
+			var noopThpt float64
+			for _, schedName := range schedulerNames {
+				run := runs[schedName]
+				tail := time.Duration(host.PercentileLatency(run.reads, cell.MeasurePct))
+				m := host.Summarize(run.closed)
+				row := Fig14Row{Scheduler: schedName, ReadTail: tail, ThroughputMBps: m.ThroughputMBps}
+				if schedName == "noop" {
+					noopTail, noopThpt = tail, m.ThroughputMBps
+				}
+				if noopTail > 0 {
+					row.TailVsNoop = float64(tail) / float64(noopTail)
+				}
+				if noopThpt > 0 {
+					row.ThptVsNoop = m.ThroughputMBps / noopThpt
+				}
+				cell.Rows = append(cell.Rows, row)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}

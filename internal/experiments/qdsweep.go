@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/sched"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// QDSweepResult is an extension study: PAS vs noop across device queue
+// depths (in-flight limit). The host-side queue reorders at any depth,
+// so PAS wins everywhere; deeper device concurrency drains backlogs
+// faster and shrinks everyone's absolute tails, narrowing — but not
+// closing — the gap.
+type QDSweepResult struct {
+	Device, Workload string
+	Points           []QDPoint
+}
+
+// QDPoint is one depth's comparison.
+type QDPoint struct {
+	Depth             int
+	NoopTail, PASTail time.Duration // read tail at the flush point
+	TailRatio         float64       // PAS / noop
+	NoopMBps, PASMBps float64
+}
+
+// Name implements Report.
+func (QDSweepResult) Name() string { return "QD sweep (extension)" }
+
+// Render implements Report.
+func (r QDSweepResult) Render(w io.Writer) {
+	fprintf(w, "Queue-depth sweep — PAS vs noop, %s on %s (read tail at flush point)\n", r.Workload, r.Device)
+	fprintf(w, "%5s %12s %12s %8s %10s %10s\n", "depth", "noop tail", "pas tail", "ratio", "noop MB/s", "pas MB/s")
+	for _, p := range r.Points {
+		fprintf(w, "%5d %12s %12s %7.2fx %10.2f %10.2f\n",
+			p.Depth, p.NoopTail.Round(10*time.Microsecond), p.PASTail.Round(10*time.Microsecond),
+			p.TailRatio, p.NoopMBps, p.PASMBps)
+	}
+}
+
+// QDSweep runs Build on SSD G across queue depths.
+func QDSweep(o Opts) QDSweepResult {
+	o = o.WithDefaults()
+	res := QDSweepResult{Device: "SSD G", Workload: "Build"}
+	seed := o.Seed + 17
+
+	cfg, _ := ssd.Preset("G", seed)
+	_, feats, _, err := diagnosedDevice(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+
+	for _, depth := range []int{1, 4, 8, 16} {
+		run := func(pas bool) ([]host.Record, float64) {
+			dev, now := preparedDevice(cfg, seed)
+			var s host.Scheduler
+			if pas {
+				s = sched.NewPAS(core.NewPredictor(feats, core.Params{}))
+			} else {
+				s = sched.NewNoop()
+			}
+			reqs := trace.Generate(trace.Build, dev.CapacitySectors(), seed+5, o.n(12000))
+			gap, now := host.CalibrateMeanGap(dev, trace.Build, seed+6, o.n(1500), 0.45, now)
+			arr := host.OpenLoopArrivals(reqs, gap, seed+7)
+			for i := range arr {
+				arr[i].At += now
+			}
+			recs := host.DriveQD(dev, s, arr, depth)
+			return host.FilterOp(recs, blockdev.Read), host.Summarize(recs).ThroughputMBps
+		}
+
+		noopReads, noopMBps := run(false)
+		pasReads, pasMBps := run(true)
+		q := flushPercentile(noopReads)
+		p := QDPoint{
+			Depth:    depth,
+			NoopTail: time.Duration(host.PercentileLatency(noopReads, q)),
+			PASTail:  time.Duration(host.PercentileLatency(pasReads, q)),
+			NoopMBps: noopMBps,
+			PASMBps:  pasMBps,
+		}
+		if p.NoopTail > 0 {
+			p.TailRatio = float64(p.PASTail) / float64(p.NoopTail)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces one Report.
+type Runner func(Opts) Report
+
+// Registry maps experiment identifiers to runners.
+var Registry = map[string]Runner{
+	"fig1":     func(o Opts) Report { return Fig01(o) },
+	"fig3":     func(o Opts) Report { return Fig03(o) },
+	"fig4":     func(o Opts) Report { return Fig04(o) },
+	"fig5":     func(o Opts) Report { return Fig05(o) },
+	"fig6":     func(o Opts) Report { return Fig06(o) },
+	"fig11":    func(o Opts) Report { return Fig11(o) },
+	"fig12":    func(o Opts) Report { return Fig12(o) },
+	"fig13":    func(o Opts) Report { return Fig13(o) },
+	"fig14":    func(o Opts) Report { return Fig14(o) },
+	"fig15":    func(o Opts) Report { return Fig15(o) },
+	"table1":   func(o Opts) Report { return Table1(o) },
+	"ablation": func(o Opts) Report { return Ablation(o) },
+	"slc":      func(o Opts) Report { return SLCExtension(o) },
+	"fios":     func(o Opts) Report { return FIOS(o) },
+	"qdsweep":  func(o Opts) Report { return QDSweep(o) },
+	"table2":   func(o Opts) Report { return Table2(o) },
+	"table3":   func(o Opts) Report { return Table3(o) },
+}
+
+// Names returns the registered experiment identifiers in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by identifier and renders it to w.
+func Run(name string, o Opts, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	rep := r(o)
+	rep.Render(w)
+	return nil
+}
+
+// RunJSON executes one experiment and writes its structured result as
+// JSON (the result types are plain exported structs).
+func RunJSON(name string, o Opts, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	rep := r(o)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": name, "artifact": rep.Name(), "result": rep})
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(o Opts, w io.Writer) {
+	for _, name := range Names() {
+		fprintf(w, "==== %s ====\n", name)
+		_ = Run(name, o, w)
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,159 @@
+package extract
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/stats"
+)
+
+// GCScanResult is the outcome of the GC-volume diagnosis (paper
+// §III-B2, Fig. 5).
+type GCScanResult struct {
+	// FixedIntervals are the GC intervals (in writes) of the Fixed
+	// pattern — the reference distribution and the seed of the runtime
+	// GC model.
+	FixedIntervals []float64
+	// Points hold the chi-squared p-value per scanned bit (Fig. 5b).
+	Points []BitPValue
+	// VolumeBits are the bits whose Flip distribution differs from
+	// Fixed below the alpha cut.
+	VolumeBits []int
+	// Overhead is the average observed GC stall, seeding the model.
+	Overhead time.Duration
+}
+
+// ScanGCVolumes identifies the GC-volume bit indices with the paper's
+// Fixed / Flip_x snippets. Fixed writes one address repeatedly:
+// self-invalidation leaves GC victims empty, so GC degenerates to pure
+// erases at near-constant intervals. Flip_x alternates two addresses
+// differing only in bit x: if x selects a volume, writes split across
+// two GC domains and the observed interval distribution changes shape; a
+// chi-squared test against Fixed flags the difference.
+//
+// knownVolumeBits (from the allocation scan) only focus where Flip
+// addresses are anchored; the scan itself covers the full bit range.
+func ScanGCVolumes(s *Session, o Opts, knownVolumeBits []int) GCScanResult {
+	res := GCScanResult{}
+
+	base := s.randomPage(allBits(o)...) // anchor with every scanned bit zeroed
+
+	fixed, overhead := s.collectGCIntervals(o, base, -1)
+	res.FixedIntervals = fixed
+	res.Overhead = overhead
+
+	if len(fixed) < 4 {
+		// GC never surfaced under Fixed; no interval distribution to
+		// compare against. Report inconclusive p-values.
+		for bit := o.MinBit; bit <= o.MaxBit; bit++ {
+			res.Points = append(res.Points, BitPValue{Bit: bit, PValue: 1})
+		}
+		return res
+	}
+
+	// Paired design: each Flip run is compared against a Fixed run
+	// collected immediately before it. Device state drifts over a long
+	// scan (wear-leveling activity ramps up as the probes hammer
+	// erases), and comparing every bit against one stale up-front
+	// reference would flag that drift on every bit.
+	//
+	// Two complementary detectors decide whether the Flip distribution
+	// differs: the chi-squared homogeneity test, and a dispersion
+	// ratio. Flipping across a volume bit splits the stream over two
+	// GC domains whose near-simultaneous GCs turn the near-constant
+	// Fixed intervals into a wide small/large alternation — the
+	// dispersion blows up even when modest sample sizes leave the
+	// chi-squared p-value hovering near its threshold.
+	for bit := o.MinBit; bit <= o.MaxBit; bit++ {
+		ref, _ := s.collectGCIntervals(o, base, -1)
+		flip, _ := s.collectGCIntervals(o, base, bit)
+		test := stats.ChiSquaredTwoSample(ref, flip, 8)
+		volume := test.PValue < o.ChiAlpha || dispersionRatio(ref, flip) > 3
+
+		// Adaptive retry: a p-value hovering just above alpha is
+		// ambiguous — neither clearly the same distribution nor
+		// clearly different. Rather than let one noisy sample decide,
+		// rerun that bit once with doubled sample sizes; more data
+		// pushes a true volume bit's p toward zero and a non-volume
+		// bit's p toward uniform.
+		if !volume && test.PValue < 50*o.ChiAlpha {
+			o2 := o
+			o2.GCIntervals = 2 * o.GCIntervals
+			ref2, _ := s.collectGCIntervals(o2, base, -1)
+			flip2, _ := s.collectGCIntervals(o2, base, bit)
+			retry := stats.ChiSquaredTwoSample(ref2, flip2, 8)
+			test = retry
+			volume = retry.PValue < o.ChiAlpha || dispersionRatio(ref2, flip2) > 3
+		}
+
+		res.Points = append(res.Points, BitPValue{Bit: bit, PValue: test.PValue})
+		if volume {
+			res.VolumeBits = append(res.VolumeBits, bit)
+		}
+	}
+	return res
+}
+
+// dispersionRatio returns stddev(flip)/stddev(ref), with a floor on the
+// reference so perfectly regular fixtures cannot divide by ~zero.
+func dispersionRatio(ref, flip []float64) float64 {
+	var a, b stats.Sample
+	for _, x := range ref {
+		a.Add(x)
+	}
+	for _, x := range flip {
+		b.Add(x)
+	}
+	floor := a.Mean() * 0.02
+	sd := a.StdDev()
+	if sd < floor {
+		sd = floor
+	}
+	if sd == 0 {
+		return 1
+	}
+	return b.StdDev() / sd
+}
+
+// allBits lists the scanned bit range, used to zero the anchor address.
+func allBits(o Opts) []int {
+	bits := make([]int, 0, o.MaxBit-o.MinBit+1)
+	for b := o.MinBit; b <= o.MaxBit; b++ {
+		bits = append(bits, b)
+	}
+	return bits
+}
+
+// collectGCIntervals hammers the device with the Fixed pattern (flipBit
+// < 0) or the Flip pattern on flipBit, detecting GC events as write
+// latencies above the GC cut, and returns the write-count intervals
+// between consecutive GC events plus the mean GC stall length.
+func (s *Session) collectGCIntervals(o Opts, base int64, flipBit int) ([]float64, time.Duration) {
+	addr := func(i int) int64 {
+		if flipBit >= 0 && i%2 == 1 {
+			return base | int64(1)<<uint(flipBit)
+		}
+		return base
+	}
+
+	var intervals []float64
+	var stalls stats.Sample
+	writesSince := 0
+	seenFirst := false
+	// Bound the probe so an undetectable device cannot hang diagnosis:
+	// generous room for the requested intervals plus pool-drain warmup.
+	maxWrites := o.GCIntervals*8192 + 65536
+	for i := 0; len(intervals) < o.GCIntervals && i < maxWrites; i++ {
+		lat := s.submit(blockdev.Write, addr(i), blockdev.SectorsPerPage)
+		writesSince++
+		if lat >= o.GCLatencyCut {
+			if seenFirst {
+				intervals = append(intervals, float64(writesSince))
+			}
+			seenFirst = true
+			writesSince = 0
+			stalls.Add(float64(lat))
+		}
+	}
+	return intervals, time.Duration(stalls.Mean())
+}

@@ -1,0 +1,70 @@
+package extract
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// featuresFileVersion guards the on-disk format; bump on incompatible
+// changes to Features.
+const featuresFileVersion = 1
+
+// featuresFile is the JSON envelope for a saved diagnosis.
+type featuresFile struct {
+	Version  int       `json:"version"`
+	Device   string    `json:"device,omitempty"`
+	Features *Features `json:"features"`
+}
+
+// Save writes the features as JSON, so a diagnosis can be run once per
+// device model and reused (the paper runs diagnosis "before launching an
+// application" for the same reason). The device label is informational.
+func (f *Features) Save(w io.Writer, device string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(featuresFile{Version: featuresFileVersion, Device: device, Features: f})
+}
+
+// LoadFeatures reads features saved by Save, validating the envelope.
+func LoadFeatures(r io.Reader) (*Features, string, error) {
+	var file featuresFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, "", fmt.Errorf("extract: corrupt features file: %w", err)
+	}
+	if file.Version != featuresFileVersion {
+		return nil, "", fmt.Errorf("extract: features file version %d, want %d", file.Version, featuresFileVersion)
+	}
+	if file.Features == nil {
+		return nil, "", fmt.Errorf("extract: features file missing payload")
+	}
+	if err := file.Features.Validate(); err != nil {
+		return nil, "", err
+	}
+	return file.Features, file.Device, nil
+}
+
+// Validate checks a Features value is usable as model input (saved files
+// may come from anywhere).
+func (f *Features) Validate() error {
+	if f.BufferBytes < 0 || f.SLCCachePages < 0 {
+		return fmt.Errorf("extract: negative sizes in features")
+	}
+	if f.ReadThreshold <= 0 || f.WriteThreshold <= 0 {
+		return fmt.Errorf("extract: non-positive latency thresholds")
+	}
+	for i, b := range f.VolumeBits {
+		if b < 0 || b > 62 {
+			return fmt.Errorf("extract: volume bit %d out of range", b)
+		}
+		if i > 0 && f.VolumeBits[i-1] >= b {
+			return fmt.Errorf("extract: volume bits not strictly ascending: %v", f.VolumeBits)
+		}
+	}
+	for _, a := range f.FlushAlgorithms {
+		if a != FlushFull && a != FlushReadTrigger {
+			return fmt.Errorf("extract: unknown flush algorithm %q", a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package extract
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/stats"
+)
+
+// CalibrateThresholds determines the NL/HL latency thresholds the way
+// the paper's latency monitor does (§III-C2): sequential writes — which
+// show minimal interference — set the write threshold from their spike
+// latency, and uniformly random reads — which all reach the NAND — set
+// the read threshold to comfortably cover the NAND read latency.
+func CalibrateThresholds(s *Session) (readThr, writeThr time.Duration) {
+	const probes = 1200
+
+	// Sequential writes with a little thinktime so the drain keeps up
+	// and buffer backpressure stays out of the measurement.
+	var w stats.Sample
+	base := s.randomPage()
+	for i := 0; i < probes; i++ {
+		lba := base + int64(i)*blockdev.SectorsPerPage
+		if lba+blockdev.SectorsPerPage > s.Dev.CapacitySectors() {
+			base, lba = 0, 0
+		}
+		w.Add(float64(s.submit(blockdev.Write, lba, blockdev.SectorsPerPage)))
+		s.think(200 * time.Microsecond)
+	}
+
+	// Random reads across the span: every one should be a NAND read.
+	// Sizes mix 4 KB through 64 KB so the threshold covers the transfer
+	// time of the largest requests real workloads issue — a threshold
+	// calibrated on 4 KB alone would misclassify every large NL read.
+	sizes := []int{1, 2, 4, 8, 16}
+	var r stats.Sample
+	for i := 0; i < probes; i++ {
+		pages := sizes[i%len(sizes)]
+		r.Add(float64(s.submit(blockdev.Read, s.randomPage(), pages*blockdev.SectorsPerPage)))
+		s.think(100 * time.Microsecond)
+	}
+
+	// The spike of the (nearly interference-free) sequential write run
+	// bounds NL writes; scale for headroom. Random-read medians bound
+	// NL reads similarly. Floors keep thresholds sane on very fast
+	// devices.
+	writeThr = 3 * time.Duration(w.Percentile(95))
+	readThr = 2 * time.Duration(r.Percentile(95))
+	if writeThr < 150*time.Microsecond {
+		writeThr = 150 * time.Microsecond
+	}
+	if readThr < 150*time.Microsecond {
+		readThr = 150 * time.Microsecond
+	}
+	// Caps keep HL events visible even on devices whose probe phases
+	// were contaminated (e.g. read-trigger flush inflating the read
+	// sample): buffer drains and GC sit at a millisecond and beyond.
+	if writeThr > 250*time.Microsecond {
+		writeThr = 250 * time.Microsecond
+	}
+	if readThr > 500*time.Microsecond {
+		readThr = 500 * time.Microsecond
+	}
+	return readThr, writeThr
+}

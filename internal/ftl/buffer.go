@@ -1,0 +1,180 @@
+package ftl
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+)
+
+// Write buffers pages logical pages starting at lpn, submitted at the
+// given instant, and returns the acknowledgement time plus the
+// ground-truth cause of any stall.
+//
+// Back-type buffers (double buffering) acknowledge immediately unless the
+// previous flush is still draining (backpressure). Fore-type buffers make
+// the flush-triggering write wait for the whole drain.
+func (v *Volume) Write(lpn int32, pages int, at simclock.Time) (simclock.Time, blockdev.Cause) {
+	v.checkMonotonic(at)
+	if pages <= 0 {
+		pages = 1
+	}
+	t := at
+	cause := blockdev.CauseNone
+	for i := 0; i < pages; i++ {
+		p := lpn + int32(i)
+		if int(p) >= v.cfg.LogicalPages {
+			break
+		}
+		var c blockdev.Cause
+		t, c = v.bufferOnePage(p, t)
+		cause = worse(cause, c)
+	}
+	v.stats.Writes += uint64(pages)
+	done := t.Add(v.jitter(v.timing.BufferAck))
+	return done, cause
+}
+
+// bufferOnePage places one page into the write buffer, flushing first if
+// the buffer is full, and returns the instant the page is accepted.
+func (v *Volume) bufferOnePage(lpn int32, t simclock.Time) (simclock.Time, blockdev.Cause) {
+	cause := blockdev.CauseNone
+	if len(v.buf) >= v.cfg.BufferPages {
+		switch v.cfg.BufferType {
+		case BufferBack:
+			// Swapping to the spare buffer requires the previous
+			// drain to have finished.
+			if busy := v.mediaBusyUntil(); busy.After(t) {
+				cause = worse(cause, blockdev.CauseBackpressure)
+				if v.gcBusyUntil.After(t) {
+					cause = worse(cause, blockdev.CauseGC)
+				}
+				t = busy
+			}
+			v.startFlush(t)
+			// The write itself lands in the fresh buffer and is
+			// acknowledged without waiting for the drain.
+		case BufferFore:
+			// The triggering write waits for the full drain (and
+			// any GC it provokes).
+			end, gcRan := v.flushAndWait(t)
+			if gcRan {
+				cause = worse(cause, blockdev.CauseGC)
+			} else {
+				cause = worse(cause, blockdev.CauseFlush)
+			}
+			t = end
+		}
+	}
+	v.buf = append(v.buf, lpn)
+	v.bufSet[lpn]++
+	return t, cause
+}
+
+// startFlush begins draining the current buffer at instant t, occupying
+// the media for the flush duration (and any GC the flush provokes). The
+// mapping is updated immediately; no request can observe NAND state
+// before the media goes idle, so this is observationally equivalent to
+// updating at drain completion.
+func (v *Volume) startFlush(t simclock.Time) {
+	n := len(v.buf)
+	if n == 0 {
+		return
+	}
+	var foldDur time.Duration
+	if v.slc.enabled {
+		// The drain lands in the SLC region; folding first if the
+		// region cannot absorb it — the SLC cache cliff.
+		if !v.slcHasSpace(n) {
+			foldDur = v.fold()
+		}
+		for _, lpn := range v.buf {
+			v.slcAllocate(lpn)
+		}
+	} else {
+		for _, lpn := range v.buf {
+			v.allocatePage(lpn)
+		}
+	}
+	v.buf = v.buf[:0]
+	clear(v.bufSet)
+	v.stats.Flushes++
+
+	var dur time.Duration
+	if v.cfg.ChargeFlush {
+		cost := v.timing.FlushCost(n, v.planes)
+		if v.slc.enabled {
+			cost = v.timing.FlushCostSLC(n, v.planes)
+		}
+		dur = v.jitter(cost + foldDur)
+	}
+	start := v.mediaBusyUntil().Max(t)
+	v.flushBusyUntil = start.Add(dur)
+	v.maybeGC(v.flushBusyUntil)
+}
+
+// flushAndWait drains the buffer synchronously and returns the completion
+// instant and whether GC ran as part of it.
+func (v *Volume) flushAndWait(t simclock.Time) (simclock.Time, bool) {
+	gcsBefore := v.stats.GCs
+	v.startFlush(t)
+	end := v.mediaBusyUntil().Max(t)
+	return end, v.stats.GCs != gcsBefore
+}
+
+// Read serves pages logical pages starting at lpn, submitted at the
+// given instant.
+func (v *Volume) Read(lpn int32, pages int, at simclock.Time) (simclock.Time, blockdev.Cause) {
+	v.checkMonotonic(at)
+	if pages <= 0 {
+		pages = 1
+	}
+	v.stats.Reads += uint64(pages)
+	cause := blockdev.CauseNone
+	t := at
+
+	// Read-trigger flush: SSDs F and G flush on any read that finds a
+	// non-empty write buffer, and the read waits for the drain.
+	if v.cfg.ReadTriggerFlush && len(v.buf) > 0 {
+		end, gcRan := v.flushAndWait(t)
+		if gcRan {
+			cause = blockdev.CauseGC
+		} else {
+			cause = blockdev.CauseReadTrigger
+		}
+		t = end.Max(t)
+	} else if v.allBuffered(lpn, pages) {
+		// Served straight from buffer RAM; media state irrelevant.
+		v.stats.BufferHits += uint64(pages)
+		return at.Add(v.jitter(v.timing.BufferRead)), blockdev.CauseNone
+	}
+
+	if busy := v.mediaBusyUntil(); busy.After(t) {
+		cause = worse(cause, v.delayCause(t))
+		t = busy
+	}
+	done := t.Add(v.jitter(v.timing.ReadCost(pages, v.planes)))
+	return done, cause
+}
+
+// allBuffered reports whether every page of the range currently sits in
+// the active write buffer.
+func (v *Volume) allBuffered(lpn int32, pages int) bool {
+	if len(v.bufSet) == 0 {
+		return false
+	}
+	for i := 0; i < pages; i++ {
+		if v.bufSet[lpn+int32(i)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FlushNow forces a buffer drain at instant t (used by the device-level
+// purge and by tests) and returns when the media goes idle.
+func (v *Volume) FlushNow(t simclock.Time) simclock.Time {
+	v.checkMonotonic(t)
+	v.startFlush(t)
+	return v.mediaBusyUntil().Max(t)
+}

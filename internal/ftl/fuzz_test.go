@@ -1,0 +1,54 @@
+package ftl
+
+import (
+	"testing"
+
+	"ssdcheck/internal/simclock"
+)
+
+// FuzzVolumeOps drives a volume with an operation stream decoded from
+// fuzz bytes and demands the FTL invariants hold afterwards. This
+// complements the quick-based property test with coverage-guided
+// exploration of operation interleavings (flush boundaries, GC, trims,
+// SLC folds).
+func FuzzVolumeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint64(1), false)
+	f.Add([]byte{255, 254, 0, 0, 9, 9, 9}, uint64(7), true)
+	f.Add(make([]byte, 64), uint64(3), false)
+
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64, slc bool) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		cfg := testConfig()
+		cfg.Seed = seed
+		cfg.JitterFrac = 0.05
+		if slc {
+			cfg.SLCBlocks = 3
+		}
+		v, err := NewVolume(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := simclock.NewRNG(seed)
+		now := simclock.Time(0)
+		for _, b := range ops {
+			lpn := int32((int(b)*131 + rng.Intn(64)) % cfg.LogicalPages)
+			pages := int(b%4) + 1
+			var done simclock.Time
+			switch b % 7 {
+			case 0:
+				done, _ = v.Read(lpn, pages, now)
+			case 1:
+				v.Trim(lpn, pages)
+				done = now
+			default:
+				done, _ = v.Write(lpn, pages, now)
+			}
+			now = done.Max(now)
+		}
+		if err := v.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated: %v", err)
+		}
+	})
+}

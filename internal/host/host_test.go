@@ -1,0 +1,236 @@
+package host
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+func TestOpenLoopArrivalsMonotone(t *testing.T) {
+	reqs := trace.Generate(trace.RWMixed, 1<<20, 3, 2000)
+	arr := OpenLoopArrivals(reqs, simclock.Time(100*time.Microsecond), 4)
+	if len(arr) != len(reqs) {
+		t.Fatalf("arrivals=%d", len(arr))
+	}
+	var sum simclock.Time
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		sum += arr[i].At - arr[i-1].At
+	}
+	mean := float64(sum) / float64(len(arr)-1)
+	if mean < 60e3 || mean > 160e3 {
+		t.Fatalf("mean gap %.0fns far from requested 100us", mean)
+	}
+}
+
+func TestOpenLoopArrivalsDeterministic(t *testing.T) {
+	reqs := trace.Generate(trace.Build, 1<<20, 5, 200)
+	a := OpenLoopArrivals(reqs, 50000, 9)
+	b := OpenLoopArrivals(reqs, 50000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same arrivals")
+		}
+	}
+}
+
+// fifoSched is a minimal in-test scheduler.
+type fifoSched struct{ q []Item }
+
+func (f *fifoSched) Name() string { return "fifo" }
+func (f *fifoSched) Add(it Item)  { f.q = append(f.q, it) }
+func (f *fifoSched) Len() int     { return len(f.q) }
+func (f *fifoSched) Next(simclock.Time) (Item, bool) {
+	if len(f.q) == 0 {
+		return Item{}, false
+	}
+	it := f.q[0]
+	f.q = f.q[1:]
+	return it, true
+}
+func (f *fifoSched) OnComplete(blockdev.Request, simclock.Time, simclock.Time) {}
+
+func TestDriveCausality(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(3))
+	now := trace.Precondition(dev, 3, 1.2, 0)
+	reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), 4, 1500)
+	arr := OpenLoopArrivals(reqs, simclock.Time(150*time.Microsecond), 5)
+	for i := range arr {
+		arr[i].At += now
+	}
+	recs := Drive(dev, &fifoSched{}, arr)
+	if len(recs) != len(arr) {
+		t.Fatalf("completed %d of %d", len(recs), len(arr))
+	}
+	for i, r := range recs {
+		if r.Dispatch.Before(r.Arrive) || r.Done.Before(r.Dispatch) {
+			t.Fatalf("record %d breaks causality", i)
+		}
+		if i > 0 && r.Dispatch.Before(recs[i-1].Done) {
+			t.Fatalf("record %d dispatched before previous completion (QD1)", i)
+		}
+	}
+}
+
+func TestDriveClosedLoopKeepsDepth(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(7))
+	now := trace.Precondition(dev, 7, 1.2, 0)
+	reqs := trace.Generate(trace.Build, dev.CapacitySectors(), 8, 500)
+	recs := DriveClosedLoop(dev, &fifoSched{}, reqs, 8, now)
+	if len(recs) != len(reqs) {
+		t.Fatalf("completed %d of %d", len(recs), len(reqs))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Req: blockdev.Request{Sectors: 8}, Arrive: 0, Dispatch: 0, Done: 1000_000},
+		{Req: blockdev.Request{Sectors: 8}, Arrive: 0, Dispatch: 1000_000, Done: 2000_000},
+		{Req: blockdev.Request{Sectors: 8}, Arrive: 1000_000, Dispatch: 2000_000, Done: 4000_000},
+	}
+	m := Summarize(recs)
+	if m.Requests != 3 {
+		t.Fatalf("requests=%d", m.Requests)
+	}
+	if m.MeanLatency != simclock.Time(2000_000) {
+		t.Fatalf("mean=%v", m.MeanLatency)
+	}
+	if m.P995 != simclock.Time(3000_000) {
+		t.Fatalf("p99.5=%v", m.P995)
+	}
+	// 3 x 4KB over 4ms = 3MB/s.
+	if m.ThroughputMBps < 2.9 || m.ThroughputMBps > 3.1 {
+		t.Fatalf("thpt=%v", m.ThroughputMBps)
+	}
+	if Summarize(nil).Requests != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestFilterOpAndPercentile(t *testing.T) {
+	recs := []Record{
+		{Req: blockdev.Request{Op: blockdev.Read}, Done: 100},
+		{Req: blockdev.Request{Op: blockdev.Write}, Done: 900},
+		{Req: blockdev.Request{Op: blockdev.Read}, Done: 300},
+	}
+	reads := FilterOp(recs, blockdev.Read)
+	if len(reads) != 2 {
+		t.Fatalf("reads=%d", len(reads))
+	}
+	if got := PercentileLatency(reads, 1.0); got != 300 {
+		t.Fatalf("max read latency=%v", got)
+	}
+	if got := PercentileLatency(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile=%v", got)
+	}
+}
+
+func TestPercentileLatencyMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := simclock.NewRNG(seed)
+		recs := make([]Record, 20+rng.Intn(100))
+		for i := range recs {
+			recs[i] = Record{Done: simclock.Time(rng.Intn(1_000_000))}
+		}
+		prev := simclock.Time(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := PercentileLatency(recs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateMeanGap(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(9))
+	now := trace.Precondition(dev, 9, 1.2, 0)
+	gap, end := CalibrateMeanGap(dev, trace.Build, 10, 800, 0.5, now)
+	if end <= now {
+		t.Fatal("calibration did not advance the clock")
+	}
+	if gap <= 0 {
+		t.Fatal("gap must be positive")
+	}
+	// At 50% utilization the gap is twice the mean service time, which
+	// for Build on A sits in the tens-to-hundreds of microseconds.
+	if gap < simclock.Time(20*time.Microsecond) || gap > simclock.Time(5*time.Millisecond) {
+		t.Fatalf("gap %v implausible", gap)
+	}
+}
+
+func TestDriveQDConcurrencyAndCausality(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(31))
+	now := trace.Precondition(dev, 31, 1.2, 0)
+	reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), 32, 3000)
+	arr := OpenLoopArrivals(reqs, simclock.Time(40*time.Microsecond), 33)
+	for i := range arr {
+		arr[i].At += now
+	}
+	recs := DriveQD(dev, &fifoSched{}, arr, 8)
+	if len(recs) != len(arr) {
+		t.Fatalf("completed %d of %d", len(recs), len(arr))
+	}
+	maxInflight := 0
+	type iv struct{ d, e simclock.Time }
+	var open []iv
+	for _, r := range recs {
+		if r.Dispatch.Before(r.Arrive) || r.Done.Before(r.Dispatch) {
+			t.Fatal("causality violated")
+		}
+		// Count overlap at this record's dispatch instant.
+		n := 1
+		for _, o := range open {
+			if o.d <= r.Dispatch && r.Dispatch < o.e {
+				n++
+			}
+		}
+		if n > maxInflight {
+			maxInflight = n
+		}
+		open = append(open, iv{r.Dispatch, r.Done})
+	}
+	if maxInflight < 2 {
+		t.Fatalf("no concurrency observed (max inflight %d)", maxInflight)
+	}
+	if maxInflight > 8 {
+		t.Fatalf("depth exceeded: %d", maxInflight)
+	}
+}
+
+func TestDriveQDDepthOneMatchesDrive(t *testing.T) {
+	mk := func() ([]Arrival, *ssd.Device) {
+		dev := ssd.MustNew(ssd.PresetA(37))
+		now := trace.Precondition(dev, 37, 1.2, 0)
+		reqs := trace.Generate(trace.Build, dev.CapacitySectors(), 38, 800)
+		arr := OpenLoopArrivals(reqs, simclock.Time(300*time.Microsecond), 39)
+		for i := range arr {
+			arr[i].At += now
+		}
+		return arr, dev
+	}
+	arrA, devA := mk()
+	a := Drive(devA, &fifoSched{}, arrA)
+	arrB, devB := mk()
+	b := DriveQD(devB, &fifoSched{}, arrB, 1)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Done != b[i].Done || a[i].Dispatch != b[i].Dispatch {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package host
+
+import (
+	"container/heap"
+	"sort"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+)
+
+// completionHeap orders in-flight completions by time.
+type completionHeap []simclock.Time
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)         { *h = append(*h, x.(simclock.Time)) }
+func (h *completionHeap) Pop() any           { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h completionHeap) peek() simclock.Time { return h[0] }
+
+// DriveQD runs an arrival stream with up to depth requests in flight
+// (NCQ-style): whenever a slot is free and the scheduler has work, the
+// next request is dispatched immediately.
+//
+// Modeling note: the simulated device computes each request's completion
+// at submission, so an in-flight request does not retroactively slow
+// down when a *later* submission starts a flush or GC; interference
+// flows only forward in submission order. At the depths storage stacks
+// use (<=32, well under the simulated plane parallelism) this slightly
+// understates interference between reads in flight together, and is
+// documented in DESIGN.md.
+func DriveQD(dev blockdev.TaggedDevice, s Scheduler, arrivals []Arrival, depth int) []Record {
+	if depth < 1 {
+		depth = 1
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].At < arrivals[j].At })
+
+	records := make([]Record, 0, len(arrivals))
+	var inflight completionHeap
+	now := simclock.Time(0)
+	i := 0
+	var seq uint64
+
+	for i < len(arrivals) || s.Len() > 0 || inflight.Len() > 0 {
+		for i < len(arrivals) && arrivals[i].At <= now {
+			s.Add(Item{Req: arrivals[i].Req, Arrive: arrivals[i].At, Seq: seq})
+			seq++
+			i++
+		}
+		for inflight.Len() < depth {
+			it, ok := s.Next(now)
+			if !ok {
+				break
+			}
+			done, cause := dev.SubmitTagged(it.Req, now)
+			s.OnComplete(it.Req, now, done)
+			records = append(records, Record{Req: it.Req, Arrive: it.Arrive, Dispatch: now, Done: done, Cause: cause})
+			heap.Push(&inflight, done)
+		}
+
+		// Advance to the next event: a completion frees a slot, an
+		// arrival adds work.
+		var next simclock.Time
+		haveNext := false
+		if inflight.Len() > 0 {
+			next, haveNext = inflight.peek(), true
+		}
+		if i < len(arrivals) && (!haveNext || arrivals[i].At < next) {
+			// An arrival only matters if a slot is free or will be
+			// freed; but admitting it early into the scheduler is
+			// harmless and lets the scheduler see deeper queues.
+			next, haveNext = arrivals[i].At, true
+		}
+		if !haveNext {
+			break
+		}
+		if next > now {
+			now = next
+		}
+		for inflight.Len() > 0 && inflight.peek() <= now {
+			heap.Pop(&inflight)
+		}
+	}
+	return records
+}

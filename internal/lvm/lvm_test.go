@@ -1,0 +1,167 @@
+package lvm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+func TestLinearMapping(t *testing.T) {
+	l := NewLinear(1<<20, 2)
+	if l.Volumes() != 2 || l.LogicalCapacity() != 1<<19 {
+		t.Fatalf("linear geometry wrong: %d vols, %d sectors", l.Volumes(), l.LogicalCapacity())
+	}
+	if l.Map(0, 0) != 0 || l.Map(1, 0) != 1<<19 {
+		t.Fatal("linear base mapping wrong")
+	}
+	if l.Map(1, 100) != 1<<19+100 {
+		t.Fatal("linear offset mapping wrong")
+	}
+}
+
+func TestLinearOutOfRangePanics(t *testing.T) {
+	l := NewLinear(1<<20, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range map should panic")
+		}
+	}()
+	l.Map(0, 1<<19)
+}
+
+func TestVolumeAwareMapping(t *testing.T) {
+	v := NewVolumeAware(1<<20, []int{17})
+	if v.Volumes() != 2 || v.LogicalCapacity() != 1<<19 {
+		t.Fatalf("VA geometry wrong")
+	}
+	// Low addresses pass through with the ID bit spliced at bit 17.
+	if got := v.Map(0, 100); got != 100 {
+		t.Fatalf("Map(0,100)=%d", got)
+	}
+	if got := v.Map(1, 100); got != 100|1<<17 {
+		t.Fatalf("Map(1,100)=%#x", got)
+	}
+	// The bit above the splice point shifts up by one.
+	if got := v.Map(0, 1<<17); got != 1<<18 {
+		t.Fatalf("Map(0,1<<17)=%#x want %#x", got, 1<<18)
+	}
+}
+
+func TestVolumeAwareIsolation(t *testing.T) {
+	// Every mapped address of logical volume i must route to internal
+	// volume i of a device with the same volume bits.
+	dev := ssd.MustNew(ssd.PresetE(1)) // bits 17,18
+	v := NewVolumeAware(dev.CapacitySectors(), []int{17, 18})
+	f := func(vol uint8, lba uint32) bool {
+		id := int(vol) % v.Volumes()
+		l := int64(lba) % v.LogicalCapacity()
+		mapped := v.Map(id, l)
+		if mapped < 0 || mapped >= dev.CapacitySectors() {
+			return false
+		}
+		// Recover the internal volume by gathering the bits.
+		got := int((mapped>>17)&1) | int((mapped>>18)&1)<<1
+		return got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeAwareBijective(t *testing.T) {
+	v := NewVolumeAware(1<<20, []int{17})
+	seen := make(map[int64]bool)
+	for vol := 0; vol < 2; vol++ {
+		for _, lba := range []int64{0, 1, 7, 1<<17 - 1, 1 << 17, 1<<18 + 5, 1<<19 - 1} {
+			m := v.Map(vol, lba)
+			if seen[m] {
+				t.Fatalf("duplicate device LBA %d", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestVolumeAwareValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewVolumeAware(1<<20, nil) },
+		func() { NewVolumeAware(1<<20, []int{18, 17}) },
+		func() { NewVolumeAware(3, []int{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid VA-LVM accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAlignGranules(t *testing.T) {
+	l := NewLinear(1<<20, 2)
+	if l.Align() != 1<<19 {
+		t.Fatalf("linear align=%d", l.Align())
+	}
+	v := NewVolumeAware(1<<20, []int{17, 18})
+	if v.Align() != 1<<17 {
+		t.Fatalf("VA align=%d", v.Align())
+	}
+}
+
+// TestVALVMBeatsLinear reproduces the Fig. 12 shape: a read-intensive
+// tenant colocated with a write-intensive tenant on SSD D gains
+// throughput and loses tail latency under VA-LVM versus Linear-LVM.
+func TestVALVMBeatsLinear(t *testing.T) {
+	run := func(m func(cap int64) Mapper) (readMBps float64, readTail time.Duration) {
+		dev := ssd.MustNew(ssd.PresetD(3))
+		now := trace.Precondition(dev, 3, 1.3, 0)
+		tenants := []TenantSpec{
+			{Name: "read", Workload: trace.Exch, Seed: 11},
+			{Name: "write", Workload: trace.TPCE, Seed: 12},
+		}
+		window := 3 * time.Second
+		res := RunMultiTenant(dev, m(dev.CapacitySectors()), tenants, now, window)
+		return res[0].ThroughputMBps(window), res[0].TailLatency(0.995)
+	}
+
+	linMBps, linTail := run(func(c int64) Mapper { return NewLinear(c, 2) })
+	vaMBps, vaTail := run(func(c int64) Mapper { return NewVolumeAware(c, []int{17}) })
+
+	if vaMBps <= linMBps {
+		t.Fatalf("VA-LVM read throughput %.2f should beat Linear %.2f", vaMBps, linMBps)
+	}
+	if vaTail >= linTail {
+		t.Fatalf("VA-LVM read tail %v should beat Linear %v", vaTail, linTail)
+	}
+	if vaMBps < 1.3*linMBps {
+		t.Fatalf("VA-LVM gain %.2fx suspiciously small", vaMBps/linMBps)
+	}
+}
+
+func TestMultiTenantRespectsWindow(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetD(5))
+	now := trace.Precondition(dev, 5, 1.2, 0)
+	m := NewVolumeAware(dev.CapacitySectors(), []int{17})
+	res := RunMultiTenant(dev, m, []TenantSpec{
+		{Name: "a", Workload: trace.Build, Seed: 1},
+		{Name: "b", Workload: trace.Web, Seed: 2},
+	}, now, 500*time.Millisecond)
+	deadline := now.Add(500 * time.Millisecond)
+	for _, r := range res {
+		if len(r.Completions) == 0 {
+			t.Fatalf("tenant %s did no work", r.Name)
+		}
+		for _, c := range r.Completions {
+			if c.Submit.After(deadline) {
+				t.Fatalf("tenant %s submitted past the window", r.Name)
+			}
+		}
+	}
+	_ = blockdev.Read
+}

@@ -1,0 +1,57 @@
+package nvm
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/trace"
+)
+
+// CalibratedConfig derives the pacing and drain rate that put a hybrid
+// run into the regime the paper's Fig. 15 operates in: foreground write
+// demand below raw-SSD saturation, and a drain rate sitting between the
+// Hybrid-PAS NVM inflow (BufferWeight% of writes) and the baseline's
+// inflow (all writes) — so the baseline's NVM pins full while Hybrid
+// PAS's never does. It probes the device with a short QD1 replay (which
+// also warms it) and returns the completed config plus the post-probe
+// clock.
+func CalibratedConfig(dev blockdev.TaggedDevice, spec trace.Spec, seed uint64, start simclock.Time, base Config) (Config, simclock.Time) {
+	base = base.withDefaults()
+	probeN := 1500
+	reqs := trace.Generate(spec, dev.CapacitySectors(), seed, probeN)
+	log, end := trace.Replay(dev, reqs, trace.ReplayOptions{Start: start})
+
+	meanSvc := time.Duration(int64(end.Sub(start)) / int64(len(log)))
+	util := base.Utilization
+	if util <= 0 || util >= 1 {
+		util = 0.5
+	}
+	gap := time.Duration(float64(meanSvc) / util)
+	if gap < 200*time.Microsecond {
+		gap = 200 * time.Microsecond
+	}
+	base.MeanGap = gap
+
+	var writeBytes int64
+	for _, c := range log {
+		if c.Req.Op == blockdev.Write {
+			writeBytes += int64(c.Req.Bytes())
+		}
+	}
+	writeRate := float64(writeBytes) / (float64(probeN) * gap.Seconds()) // bytes/s of write demand
+
+	// Drain between Hybrid PAS's BufferWeight inflow and the
+	// baseline's 100% of the write demand.
+	df := base.DrainFactor
+	if df <= 0 {
+		df = 0.9
+	}
+	base.DrainInterval = time.Millisecond
+	pages := int(df * writeRate * base.DrainInterval.Seconds() / float64(blockdev.PageSize))
+	if pages < 1 {
+		pages = 1
+	}
+	base.DrainPages = pages
+	return base, end
+}

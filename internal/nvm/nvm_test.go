@@ -1,0 +1,261 @@
+package nvm
+
+import (
+	"testing"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/stats"
+	"ssdcheck/internal/trace"
+)
+
+func TestTierAbsorbAndDrain(t *testing.T) {
+	tier := NewTier(16*blockdev.PageSize, 0, 0)
+	req := blockdev.Request{Op: blockdev.Write, LBA: 0, Sectors: 8}
+	if !tier.CanAbsorb(req.Bytes()) {
+		t.Fatal("empty tier should absorb")
+	}
+	done := tier.Write(req, 1000)
+	if done.Sub(1000) != 5*time.Microsecond {
+		t.Fatalf("NVM write latency %v", done.Sub(1000))
+	}
+	if !tier.Holds(req) {
+		t.Fatal("written page should be resident")
+	}
+	if tier.Used() != blockdev.PageSize {
+		t.Fatalf("used=%d", tier.Used())
+	}
+	// Rewriting the same page must not double-count capacity.
+	tier.Write(req, done)
+	if tier.Used() != blockdev.PageSize {
+		t.Fatalf("rewrite double-counted: used=%d", tier.Used())
+	}
+	if tier.BytesWritten() != 2*blockdev.PageSize {
+		t.Fatalf("traffic=%d", tier.BytesWritten())
+	}
+	lbas := tier.PopDrain(10)
+	if len(lbas) != 1 || lbas[0] != 0 {
+		t.Fatalf("drain=%v", lbas)
+	}
+	if tier.Holds(req) || tier.Used() != 0 {
+		t.Fatal("drained page should be gone")
+	}
+}
+
+func TestTierCapacityLimit(t *testing.T) {
+	tier := NewTier(2*blockdev.PageSize, 0, 0)
+	tier.Write(blockdev.Request{Op: blockdev.Write, LBA: 0, Sectors: 8}, 0)
+	tier.Write(blockdev.Request{Op: blockdev.Write, LBA: 8, Sectors: 8}, 0)
+	if tier.CanAbsorb(blockdev.PageSize) {
+		t.Fatal("full tier should refuse")
+	}
+	if tier.Free() != 0 {
+		t.Fatalf("free=%d", tier.Free())
+	}
+	// Per-request admission: freeing one page re-admits one page (no
+	// hysteresis — the paper's baseline refuses only while full).
+	tier.PopDrain(1)
+	if !tier.CanAbsorb(blockdev.PageSize) {
+		t.Fatal("freed space should re-admit immediately")
+	}
+}
+
+func TestTierFIFOOrder(t *testing.T) {
+	tier := NewTier(64*blockdev.PageSize, 0, 0)
+	for i := int64(0); i < 4; i++ {
+		tier.Write(blockdev.Request{Op: blockdev.Write, LBA: i * 8, Sectors: 8}, 0)
+	}
+	got := tier.PopDrain(2)
+	if got[0] != 0 || got[1] != 8 {
+		t.Fatalf("drain order %v not FIFO", got)
+	}
+}
+
+func predictorFor(devCfg ssd.Config) *core.Predictor {
+	f := &extract.Features{
+		BufferBytes:      devCfg.BufferBytes,
+		BufferKind:       extract.BufferBack,
+		FlushAlgorithms:  []extract.FlushAlgorithm{extract.FlushFull},
+		ReadThreshold:    200 * time.Microsecond,
+		WriteThreshold:   150 * time.Microsecond,
+		FlushOverhead:    2 * time.Millisecond,
+		GCOverhead:       40 * time.Millisecond,
+		GCIntervalWrites: []float64{900, 1000, 1100, 1200, 1300, 1400, 1500},
+	}
+	return core.NewPredictor(f, core.Params{})
+}
+
+// steadyThroughput averages the back half of a run's timeline.
+func steadyThroughput(r Result) float64 {
+	s := r.Timeline.Series()
+	var sum float64
+	n := 0
+	for _, v := range s[len(s)/2:] {
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TestHybridPASBeatsBaseline reproduces the Fig. 15a/15c shape: on the
+// paper's synthetic write-intensive stream, Hybrid PAS sustains higher
+// steady-state foreground throughput and writes less into the NVM than
+// the all-writes-to-NVM baseline. (Reads cannot be steered, so a pure
+// write stream isolates the policy difference exactly as the paper's
+// benchmark does.)
+func TestHybridPASBeatsBaseline(t *testing.T) {
+	run := func(policy Policy) Result {
+		cfg := ssd.PresetC(9)
+		dev := ssd.MustNew(cfg)
+		now := trace.Precondition(dev, 9, 1.3, 0)
+		hcfg, now := CalibratedConfig(dev, trace.WriteBurst, 8, now, Config{Policy: policy, NVMBytes: 10 << 20, DrainFactor: 1.3, Seed: 5})
+		reqs := trace.Generate(trace.WriteBurst, dev.CapacitySectors(), 10, 60000)
+		var pr *core.Predictor
+		if policy == HybridPAS {
+			pr = predictorFor(cfg)
+		}
+		return Run(dev, pr, reqs, hcfg, now)
+	}
+	base := run(Baseline)
+	hyb := run(HybridPAS)
+
+	// Steady mean throughput is parity-bound in this substrate (work
+	// conservation — every byte reaches the SSD under either policy;
+	// see EXPERIMENTS.md Fig. 15): hybrid must stay within the parity
+	// band, and must clearly win the NVM-pressure metric.
+	bt, ht := steadyThroughput(base), steadyThroughput(hyb)
+	if bt <= 0 || ht/bt < 0.85 || ht/bt > 1.6 {
+		t.Fatalf("hybrid steady throughput %.2f MB/s outside parity band of baseline %.2f", ht, bt)
+	}
+	if hyb.NVMBytesWritten >= base.NVMBytesWritten {
+		t.Fatalf("hybrid NVM pressure %d should be below baseline %d", hyb.NVMBytesWritten, base.NVMBytesWritten)
+	}
+}
+
+// TestHybridPASTail reproduces the Fig. 15b shape: once the baseline's
+// NVM runs out, its foreground writes meet the raw SSD's stalls and the
+// write tail stretches; Hybrid PAS keeps absorbing exactly those writes.
+// (The paper plots Web on its real SSD C; our simulated C stalls paced
+// Web writes too rarely to measure, so the write-intensive synthetic
+// exercises the same steerable-stall phenomenon — see EXPERIMENTS.md.)
+func TestHybridPASTail(t *testing.T) {
+	run := func(policy Policy) Result {
+		cfg := ssd.PresetC(9)
+		dev := ssd.MustNew(cfg)
+		now := trace.Precondition(dev, 9, 1.3, 0)
+		hcfg, now := CalibratedConfig(dev, trace.WriteBurst, 8, now, Config{Policy: policy, NVMBytes: 10 << 20, Utilization: 0.85, Seed: 5})
+		reqs := trace.Generate(trace.WriteBurst, dev.CapacitySectors(), 10, 50000)
+		var pr *core.Predictor
+		if policy == HybridPAS {
+			pr = predictorFor(cfg)
+		}
+		return Run(dev, pr, reqs, hcfg, now)
+	}
+	base := run(Baseline)
+	hyb := run(HybridPAS)
+
+	// Writes are the steerable class; compare their extreme tail.
+	tailOf := func(r Result, q float64) time.Duration {
+		var s stats.Sample
+		for _, c := range r.Completions {
+			if c.Req.Op == blockdev.Write {
+				s.Add(float64(c.Latency()))
+			}
+		}
+		return time.Duration(s.Percentile(q * 100))
+	}
+	hl, bl := tailOf(hyb, 0.999), tailOf(base, 0.999)
+	if hl >= bl {
+		t.Fatalf("hybrid write tail %v should beat baseline %v", hl, bl)
+	}
+	if bl < 500*time.Microsecond {
+		t.Fatalf("baseline write tail %v suspiciously benign; experiment lost its contrast", bl)
+	}
+}
+
+func TestHybridRespectsBufferWeight(t *testing.T) {
+	cfg := ssd.PresetA(3)
+	dev := ssd.MustNew(cfg)
+	now := trace.Precondition(dev, 3, 1.2, 0)
+	reqs := trace.Generate(trace.Web, dev.CapacitySectors(), 4, 8000)
+	low := Run(dev, predictorFor(cfg), reqs, Config{Policy: HybridPAS, BufferWeight: 20, NVMBytes: 1 << 30, Seed: 7}, now)
+
+	dev2 := ssd.MustNew(ssd.PresetA(3))
+	now2 := trace.Precondition(dev2, 3, 1.2, 0)
+	high := Run(dev2, predictorFor(cfg), reqs, Config{Policy: HybridPAS, BufferWeight: 95, NVMBytes: 1 << 30, Seed: 7}, now2)
+
+	if low.NVMBytesWritten >= high.NVMBytesWritten {
+		t.Fatalf("W=20 pressure %d should be below W=95 pressure %d", low.NVMBytesWritten, high.NVMBytesWritten)
+	}
+}
+
+func TestBaselineCliff(t *testing.T) {
+	// With a tiny NVM the baseline must show the Fig. 15a cliff: early
+	// windows much faster than late windows.
+	dev := ssd.MustNew(ssd.PresetC(11))
+	now := trace.Precondition(dev, 11, 1.2, 0)
+	reqs := trace.Generate(trace.WriteBurst, dev.CapacitySectors(), 12, 50000)
+	res := Run(dev, nil, reqs, Config{Policy: Baseline, NVMBytes: 8 << 20, MeanGap: 300 * time.Microsecond, DrainPages: 3, DrainInterval: 2 * time.Millisecond, Seed: 1}, now)
+	s := res.Timeline.Series()
+	if len(s) < 4 {
+		t.Fatalf("timeline too short: %d windows", len(s))
+	}
+	early := s[0]
+	late := s[len(s)-2]
+	// The drain keeps freeing a trickle of NVM space, so the floor is
+	// above raw-SSD speed; a ~1.5x early/late drop is the cliff.
+	if early < 1.4*late {
+		t.Fatalf("no cliff: early %.2f MB/s vs late %.2f MB/s", early, late)
+	}
+}
+
+func TestCalibratedConfig(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(23))
+	now := trace.Precondition(dev, 23, 1.2, 0)
+	cfg, end := CalibratedConfig(dev, trace.WriteBurst, 24, now, Config{NVMBytes: 8 << 20})
+	if end <= now {
+		t.Fatal("calibration did not advance the clock")
+	}
+	if cfg.MeanGap < 100*time.Microsecond || cfg.MeanGap > 10*time.Millisecond {
+		t.Fatalf("implausible pacing gap %v", cfg.MeanGap)
+	}
+	if cfg.DrainPages < 1 {
+		t.Fatalf("drain pages %d", cfg.DrainPages)
+	}
+	// The derived drain rate must sit near 90% of the write demand.
+	demand := 0.97 * float64(4096) * 1.33 / cfg.MeanGap.Seconds() // WriteBurst: ~all writes, ~1.33 pages
+	drain := float64(cfg.DrainPages) * 4096 / cfg.DrainInterval.Seconds()
+	ratio := drain / demand
+	if ratio < 0.6 || ratio > 1.1 {
+		t.Fatalf("drain/demand ratio %.2f far from the 0.9 target", ratio)
+	}
+
+	// Higher utilization must not lengthen the gap (both may clamp to
+	// the pacing floor on a fast device).
+	cfg2, _ := CalibratedConfig(dev, trace.WriteBurst, 24, end, Config{NVMBytes: 8 << 20, Utilization: 0.9})
+	if cfg2.MeanGap > cfg.MeanGap {
+		t.Fatalf("util 0.9 gap %v longer than util 0.5 gap %v", cfg2.MeanGap, cfg.MeanGap)
+	}
+}
+
+func TestHybridReadsFromNVM(t *testing.T) {
+	dev := ssd.MustNew(ssd.PresetA(29))
+	now := trace.Precondition(dev, 29, 1.2, 0)
+	// Write a page, then read it back: the read must be served by the
+	// NVM (microseconds), not the SSD.
+	reqs := []blockdev.Request{
+		{Op: blockdev.Write, LBA: 800, Sectors: 8},
+		{Op: blockdev.Read, LBA: 800, Sectors: 8},
+	}
+	res := Run(dev, nil, reqs, Config{Policy: Baseline, NVMBytes: 1 << 20, Seed: 1}, now)
+	read := res.Completions[1]
+	if lat := time.Duration(read.Latency()); lat > 10*time.Microsecond {
+		t.Fatalf("NVM-resident read took %v", lat)
+	}
+}

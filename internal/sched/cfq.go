@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"container/list"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/simclock"
+)
+
+// CFQ is a simplified completely-fair-queueing elevator: synchronous
+// (read) and asynchronous (write) service trees share the device through
+// alternating quanta, with the sync tree receiving the larger share —
+// the essential behaviour of Linux CFQ for a read/write mix on a single
+// priority class.
+type CFQ struct {
+	reads, writes list.List // of host.Item
+	readQuantum   int
+	writeQuantum  int
+	sliceDir      blockdev.Op
+	sliceLeft     int
+}
+
+// NewCFQ returns a simplified CFQ scheduler with a 4:1 read:write
+// quantum.
+func NewCFQ() *CFQ {
+	return &CFQ{readQuantum: 8, writeQuantum: 2, sliceDir: blockdev.Read}
+}
+
+// Name implements host.Scheduler.
+func (c *CFQ) Name() string { return "cfq" }
+
+// Add implements host.Scheduler.
+func (c *CFQ) Add(it host.Item) {
+	if it.Req.Op == blockdev.Read {
+		c.reads.PushBack(it)
+	} else {
+		c.writes.PushBack(it)
+	}
+}
+
+// Len implements host.Scheduler.
+func (c *CFQ) Len() int { return c.reads.Len() + c.writes.Len() }
+
+// OnComplete implements host.Scheduler.
+func (c *CFQ) OnComplete(blockdev.Request, simclock.Time, simclock.Time) {}
+
+// Next implements host.Scheduler.
+func (c *CFQ) Next(simclock.Time) (host.Item, bool) {
+	if c.Len() == 0 {
+		return host.Item{}, false
+	}
+	// Exhausted slice, or the slice's direction is empty: rotate.
+	if c.sliceLeft <= 0 || c.dirEmpty(c.sliceDir) {
+		c.rotate()
+	}
+	c.sliceLeft--
+	if c.sliceDir == blockdev.Read {
+		return pop(&c.reads), true
+	}
+	return pop(&c.writes), true
+}
+
+func (c *CFQ) dirEmpty(dir blockdev.Op) bool {
+	if dir == blockdev.Read {
+		return c.reads.Len() == 0
+	}
+	return c.writes.Len() == 0
+}
+
+// rotate hands the device to the other direction's service tree,
+// falling back to whichever tree has work when the other is empty.
+func (c *CFQ) rotate() {
+	next := blockdev.Read
+	if c.sliceDir == blockdev.Read {
+		next = blockdev.Write
+	}
+	if c.dirEmpty(next) {
+		if next == blockdev.Read {
+			next = blockdev.Write
+		} else {
+			next = blockdev.Read
+		}
+	}
+	c.sliceDir = next
+	if next == blockdev.Read {
+		c.sliceLeft = c.readQuantum
+	} else {
+		c.sliceLeft = c.writeQuantum
+	}
+}

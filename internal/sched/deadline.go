@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"container/list"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/simclock"
+)
+
+// Deadline reimplements the essential policy of the Linux deadline
+// elevator: per-direction FIFO queues with expiry times (reads 500 ms,
+// writes 5 s), batched dispatch from one direction at a time, and a
+// bound on how many read batches may starve writes.
+type Deadline struct {
+	readExpire, writeExpire time.Duration
+	fifoBatch               int
+	writesStarvedLimit      int
+
+	reads, writes list.List // of host.Item
+	batchDir      blockdev.Op
+	batchLeft     int
+	starved       int
+}
+
+// NewDeadline returns a deadline scheduler with the Linux defaults.
+func NewDeadline() *Deadline {
+	return &Deadline{
+		readExpire:         500 * time.Millisecond,
+		writeExpire:        5 * time.Second,
+		fifoBatch:          16,
+		writesStarvedLimit: 2,
+		batchDir:           blockdev.Read,
+	}
+}
+
+// Name implements host.Scheduler.
+func (d *Deadline) Name() string { return "deadline" }
+
+// Add implements host.Scheduler.
+func (d *Deadline) Add(it host.Item) {
+	if it.Req.Op == blockdev.Read {
+		d.reads.PushBack(it)
+	} else {
+		d.writes.PushBack(it)
+	}
+}
+
+// Len implements host.Scheduler.
+func (d *Deadline) Len() int { return d.reads.Len() + d.writes.Len() }
+
+// OnComplete implements host.Scheduler.
+func (d *Deadline) OnComplete(blockdev.Request, simclock.Time, simclock.Time) {}
+
+func pop(l *list.List) host.Item {
+	f := l.Front()
+	l.Remove(f)
+	return f.Value.(host.Item)
+}
+
+func expired(l *list.List, now simclock.Time, ttl time.Duration) bool {
+	f := l.Front()
+	if f == nil {
+		return false
+	}
+	return now.Sub(f.Value.(host.Item).Arrive) > ttl
+}
+
+// Next implements host.Scheduler: continue the current batch unless the
+// other direction has an expired head; reads win direction switches
+// unless writes have starved too long.
+func (d *Deadline) Next(now simclock.Time) (host.Item, bool) {
+	if d.Len() == 0 {
+		return host.Item{}, false
+	}
+
+	// Expired FIFO heads preempt batching.
+	switch {
+	case expired(&d.writes, now, d.writeExpire):
+		d.startBatch(blockdev.Write)
+	case expired(&d.reads, now, d.readExpire):
+		d.startBatch(blockdev.Read)
+	}
+
+	// Continue an in-progress batch if its direction still has work.
+	if d.batchLeft > 0 {
+		if d.batchDir == blockdev.Read && d.reads.Len() > 0 {
+			d.batchLeft--
+			return pop(&d.reads), true
+		}
+		if d.batchDir == blockdev.Write && d.writes.Len() > 0 {
+			d.batchLeft--
+			return pop(&d.writes), true
+		}
+	}
+
+	// Choose a new batch direction: reads preferred, writes rescued
+	// after starving through writesStarvedLimit read batches.
+	switch {
+	case d.reads.Len() > 0 && (d.writes.Len() == 0 || d.starved < d.writesStarvedLimit):
+		if d.writes.Len() > 0 {
+			d.starved++
+		}
+		d.startBatch(blockdev.Read)
+		d.batchLeft--
+		return pop(&d.reads), true
+	case d.writes.Len() > 0:
+		d.starved = 0
+		d.startBatch(blockdev.Write)
+		d.batchLeft--
+		return pop(&d.writes), true
+	default:
+		return host.Item{}, false
+	}
+}
+
+func (d *Deadline) startBatch(dir blockdev.Op) {
+	d.batchDir = dir
+	d.batchLeft = d.fifoBatch
+}

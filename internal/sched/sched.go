@@ -1,0 +1,45 @@
+// Package sched implements the host I/O schedulers the paper compares
+// (§IV-B, §V-D): noop, deadline and a simplified CFQ as from-scratch
+// stand-ins for the Linux mainline schedulers, plus the paper's
+// contribution — the SSD-only Prediction-Aware Scheduler (PAS) — and an
+// oracle-fed "ideal PAS" that bounds the cost of misprediction.
+package sched
+
+import (
+	"container/list"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/simclock"
+)
+
+// Noop serves requests strictly in arrival order, like the Linux noop
+// elevator.
+type Noop struct {
+	q list.List // of host.Item
+}
+
+// NewNoop returns a FIFO scheduler.
+func NewNoop() *Noop { return &Noop{} }
+
+// Name implements host.Scheduler.
+func (n *Noop) Name() string { return "noop" }
+
+// Add implements host.Scheduler.
+func (n *Noop) Add(it host.Item) { n.q.PushBack(it) }
+
+// Next implements host.Scheduler.
+func (n *Noop) Next(simclock.Time) (host.Item, bool) {
+	front := n.q.Front()
+	if front == nil {
+		return host.Item{}, false
+	}
+	n.q.Remove(front)
+	return front.Value.(host.Item), true
+}
+
+// Len implements host.Scheduler.
+func (n *Noop) Len() int { return n.q.Len() }
+
+// OnComplete implements host.Scheduler.
+func (n *Noop) OnComplete(blockdev.Request, simclock.Time, simclock.Time) {}

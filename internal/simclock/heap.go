@@ -1,0 +1,97 @@
+package simclock
+
+import "container/heap"
+
+// Event is a scheduled callback on the virtual timeline.
+type Event struct {
+	At  Time
+	Fn  func(Time)
+	seq uint64 // tie-break so same-time events fire in schedule order
+	idx int
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives a discrete-event simulation: schedule callbacks at
+// virtual instants, then Run until the queue drains (or a bound).
+type Engine struct {
+	now Time
+	q   eventQueue
+	seq uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at instant at. Scheduling in the past is a
+// programming error and panics — simulated causality must not run
+// backwards.
+func (e *Engine) Schedule(at Time, fn func(Time)) *Event {
+	if at < e.now {
+		panic("simclock: scheduling event in the past")
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.q, ev)
+	return ev
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Step runs the earliest event. It reports false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.q).(*Event)
+	e.now = ev.At
+	ev.Fn(ev.At)
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline, leaving later events
+// queued, and advances the clock to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.q) > 0 && e.q[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

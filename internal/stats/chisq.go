@@ -1,0 +1,93 @@
+package stats
+
+import "sort"
+
+// ChiSquaredResult is the outcome of a two-sample homogeneity test.
+type ChiSquaredResult struct {
+	Stat   float64 // chi-squared statistic
+	DF     int     // degrees of freedom
+	PValue float64 // P(X >= Stat)
+	Bins   int     // number of bins actually used
+}
+
+// ChiSquaredTwoSample tests whether two samples of non-negative
+// observations come from the same distribution. It bins both samples into
+// quantile bins derived from the pooled data (so every bin has mass) and
+// computes the standard two-sample homogeneity statistic
+//
+//	sum over bins, samples of (observed - expected)^2 / expected.
+//
+// This is the test SSDcheck runs between the Fixed and Flip_x GC-interval
+// distributions (paper §III-B2, Fig. 5b): a p-value near 1 means the two
+// patterns land in the same GC volume; near 0 means the flipped bit
+// selects a different volume.
+//
+// Samples with fewer than 2 observations each yield a degenerate result
+// with PValue = 1 (no evidence of difference).
+func ChiSquaredTwoSample(a, b []float64, maxBins int) ChiSquaredResult {
+	if len(a) < 2 || len(b) < 2 {
+		return ChiSquaredResult{Stat: 0, DF: 0, PValue: 1, Bins: 0}
+	}
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	pooled := make([]float64, 0, len(a)+len(b))
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	sort.Float64s(pooled)
+
+	// Quantile bin edges from the pooled sample; duplicates collapse.
+	edges := make([]float64, 0, maxBins-1)
+	for i := 1; i < maxBins; i++ {
+		e := pooled[i*len(pooled)/maxBins]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	bins := len(edges) + 1
+	if bins < 2 {
+		// All observations identical in both samples: indistinguishable.
+		return ChiSquaredResult{Stat: 0, DF: 0, PValue: 1, Bins: 1}
+	}
+
+	// bin index = number of edges <= x, i.e. edges are upper-inclusive
+	// boundaries of their bin. Any consistent convention works for a
+	// homogeneity test; this one is exact for integer-valued data.
+	binOf := func(x float64) int {
+		return sort.Search(len(edges), func(i int) bool { return edges[i] > x })
+	}
+	na := make([]float64, bins)
+	nb := make([]float64, bins)
+	for _, x := range a {
+		na[binOf(x)]++
+	}
+	for _, x := range b {
+		nb[binOf(x)]++
+	}
+
+	totA, totB := float64(len(a)), float64(len(b))
+	tot := totA + totB
+	var stat float64
+	used := 0
+	for i := 0; i < bins; i++ {
+		rowTot := na[i] + nb[i]
+		if rowTot == 0 {
+			continue
+		}
+		used++
+		expA := rowTot * totA / tot
+		expB := rowTot * totB / tot
+		stat += (na[i] - expA) * (na[i] - expA) / expA
+		stat += (nb[i] - expB) * (nb[i] - expB) / expB
+	}
+	df := used - 1
+	if df < 1 {
+		return ChiSquaredResult{Stat: stat, DF: 0, PValue: 1, Bins: used}
+	}
+	return ChiSquaredResult{
+		Stat:   stat,
+		DF:     df,
+		PValue: ChiSquaredSurvival(stat, df),
+		Bins:   used,
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ssdcheck/internal/blockdev"
+)
+
+// Trace file format: one request per line,
+//
+//	<op> <lba> <sectors>
+//
+// where op is "R", "W" or "T" (case-insensitive; "read"/"write"/"trim"
+// also accepted), lba is the sector address and sectors the length.
+// Blank lines and lines starting with '#' are ignored. This is close
+// enough to common block-trace dumps (blkparse output postprocessed,
+// SNIA-style CSVs) that converting a real trace is a one-line awk.
+
+// WriteRequests writes reqs in the trace file format.
+func WriteRequests(w io.Writer, reqs []blockdev.Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		var op byte
+		switch r.Op {
+		case blockdev.Read:
+			op = 'R'
+		case blockdev.Write:
+			op = 'W'
+		case blockdev.Trim:
+			op = 'T'
+		default:
+			return fmt.Errorf("trace: unknown op %v", r.Op)
+		}
+		if _, err := fmt.Fprintf(bw, "%c %d %d\n", op, r.LBA, r.Sectors); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRequests parses a trace file. Requests with out-of-range or
+// malformed fields produce a descriptive error naming the line.
+func ReadRequests(r io.Reader) ([]blockdev.Request, error) {
+	var out []blockdev.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'op lba sectors', got %q", line, text)
+		}
+		var op blockdev.Op
+		switch strings.ToUpper(fields[0]) {
+		case "R", "READ":
+			op = blockdev.Read
+		case "W", "WRITE":
+			op = blockdev.Write
+		case "T", "TRIM":
+			op = blockdev.Trim
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, fields[0])
+		}
+		lba, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || lba < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad lba %q", line, fields[1])
+		}
+		sectors, err := strconv.Atoi(fields[2])
+		if err != nil || sectors <= 0 {
+			return nil, fmt.Errorf("trace: line %d: bad sector count %q", line, fields[2])
+		}
+		out = append(out, blockdev.Request{Op: op, LBA: lba, Sectors: sectors})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// ClampToCapacity rewrites requests so they fit a device of the given
+// capacity (modulo-wrapping the LBA, clamping the length), returning how
+// many requests were adjusted. Useful when replaying a trace captured on
+// a larger device.
+func ClampToCapacity(reqs []blockdev.Request, capacitySectors int64) int {
+	adjusted := 0
+	for i := range reqs {
+		r := &reqs[i]
+		orig := *r
+		if r.LBA >= capacitySectors {
+			r.LBA %= capacitySectors
+			r.LBA -= r.LBA % blockdev.SectorsPerPage
+		}
+		if r.LBA+int64(r.Sectors) > capacitySectors {
+			r.Sectors = int(capacitySectors - r.LBA)
+		}
+		if *r != orig {
+			adjusted++
+		}
+	}
+	return adjusted
+}

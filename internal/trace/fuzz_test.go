@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+)
+
+// FuzzReadRequests hardens the trace parser: arbitrary input must never
+// panic, and accepted input must produce only well-formed requests that
+// survive a round trip.
+func FuzzReadRequests(f *testing.F) {
+	f.Add("R 0 8\nW 4096 16\n")
+	f.Add("# comment\n\nT 128 8")
+	f.Add("write 0 1")
+	f.Add("R -1 8")
+	f.Add("bogus line")
+	f.Add("R 99999999999999999999 8")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := ReadRequests(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			if r.LBA < 0 || r.Sectors <= 0 {
+				t.Fatalf("request %d malformed: %+v", i, r)
+			}
+			if r.Op != blockdev.Read && r.Op != blockdev.Write && r.Op != blockdev.Trim {
+				t.Fatalf("request %d has op %v", i, r.Op)
+			}
+		}
+		// Round trip: what we write we must read back identically.
+		var buf bytes.Buffer
+		if err := WriteRequests(&buf, reqs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadRequests(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("round trip count %d vs %d", len(got), len(reqs))
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				t.Fatalf("round trip changed request %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/simclock"
+)
+
+// ReplayOptions tune a closed-loop replay.
+type ReplayOptions struct {
+	// Thinktime is host-side idle time injected between a completion
+	// and the next submission (paper's fio thinktime).
+	Thinktime time.Duration
+	// Limit truncates the trace after this many requests; 0 means all.
+	Limit int
+	// Start is the virtual time of the first submission.
+	Start simclock.Time
+}
+
+// Replay runs requests through dev closed-loop at queue depth 1 and
+// returns the full completion log (with ground-truth causes) and the
+// instant the last request finished.
+func Replay(dev blockdev.TaggedDevice, reqs []blockdev.Request, opt ReplayOptions) ([]blockdev.Completion, simclock.Time) {
+	n := len(reqs)
+	if opt.Limit > 0 && opt.Limit < n {
+		n = opt.Limit
+	}
+	out := make([]blockdev.Completion, 0, n)
+	t := opt.Start
+	for i := 0; i < n; i++ {
+		done, cause := dev.SubmitTagged(reqs[i], t)
+		out = append(out, blockdev.Completion{Req: reqs[i], Submit: t, Done: done, Cause: cause})
+		t = done.Add(opt.Thinktime)
+	}
+	return out, t
+}
+
+// ReplayGenerator is Replay driven by a streaming Generator, for long
+// traces that should not be materialized.
+func ReplayGenerator(dev blockdev.TaggedDevice, g *Generator, n int, opt ReplayOptions) ([]blockdev.Completion, simclock.Time) {
+	out := make([]blockdev.Completion, 0, n)
+	t := opt.Start
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		done, cause := dev.SubmitTagged(req, t)
+		out = append(out, blockdev.Completion{Req: req, Submit: t, Done: done, Cause: cause})
+		t = done.Add(opt.Thinktime)
+	}
+	return out, t
+}
+
+// Precondition purges dev and writes random data across its logical span
+// until GC reaches steady state, following the SNIA performance test
+// practice the paper cites (§V-A). It returns the virtual time at which
+// the device is preconditioned.
+//
+// factor scales how much data is written relative to the logical
+// capacity; the SNIA practice of ~2x is a good default.
+func Precondition(dev blockdev.TaggedDevice, seed uint64, factor float64, at simclock.Time) simclock.Time {
+	type purger interface {
+		Purge(simclock.Time) simclock.Time
+	}
+	if p, ok := dev.(purger); ok {
+		at = p.Purge(at)
+	}
+	rng := simclock.NewRNG(seed)
+	pages := dev.CapacitySectors() / blockdev.SectorsPerPage
+	writes := int(float64(pages) * factor)
+	t := at
+	for i := 0; i < writes; i++ {
+		lba := rng.Int63n(pages) * blockdev.SectorsPerPage
+		t = dev.Submit(blockdev.Request{Op: blockdev.Write, LBA: lba, Sectors: blockdev.SectorsPerPage}, t)
+	}
+	return t
+}

@@ -1,0 +1,240 @@
+// Package ssdcheck is a reproduction of "SSDcheck: Timely and Accurate
+// Prediction of Irregular Behaviors in Black-Box SSDs" (MICRO 2018): a
+// host-side framework that probes a black-box SSD with diagnosis code
+// snippets, builds a per-device performance model of its write buffer
+// and garbage collection, and predicts — per request, before submission
+// — whether the next access will be normal- or high-latency.
+//
+// Because the paper's commodity SSDs and FPGA prototype are not
+// reproducible hardware, the repository ships a full NAND-flash SSD
+// simulator (page-level FTL, greedy GC, wear leveling, internal
+// allocation/GC volumes, back/fore write buffers) on a deterministic
+// virtual clock, with presets matching the paper's Table I. SSDcheck
+// itself touches devices only through the black-box Device interface and
+// runs unmodified against any implementation of it.
+//
+// This package is the public facade: it re-exports the pieces a
+// downstream user needs — devices, diagnosis, prediction, the volume
+// manager and the schedulers — from the internal packages that implement
+// them. See the examples directory for runnable walkthroughs and
+// EXPERIMENTS.md for the paper-vs-measured evaluation.
+package ssdcheck
+
+import (
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/host"
+	"ssdcheck/internal/lvm"
+	"ssdcheck/internal/nvm"
+	"ssdcheck/internal/sched"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// Core request/device vocabulary.
+type (
+	// Time is an instant on the virtual clock (nanoseconds).
+	Time = simclock.Time
+	// Op is a block request direction.
+	Op = blockdev.Op
+	// Request is one block I/O request.
+	Request = blockdev.Request
+	// Device is the black-box device surface SSDcheck operates on.
+	Device = blockdev.Device
+	// TaggedDevice additionally exposes ground-truth causes —
+	// evaluation only.
+	TaggedDevice = blockdev.TaggedDevice
+	// Completion is a finished request with its timing.
+	Completion = blockdev.Completion
+	// Cause labels why a request was slow (ground truth).
+	Cause = blockdev.Cause
+)
+
+// Request directions.
+const (
+	Read  = blockdev.Read
+	Write = blockdev.Write
+	Trim  = blockdev.Trim
+)
+
+// Simulated devices.
+type (
+	// SSD is a simulated NAND-flash SSD.
+	SSD = ssd.Device
+	// SSDConfig parameterizes a simulated SSD.
+	SSDConfig = ssd.Config
+)
+
+// NewSSD builds a simulated SSD from a configuration.
+func NewSSD(cfg SSDConfig) (*SSD, error) { return ssd.New(cfg) }
+
+// Preset returns one of the paper's Table-I-style device presets
+// ("A".."G").
+func Preset(name string, seed uint64) (SSDConfig, error) { return ssd.Preset(name, seed) }
+
+// PresetNames lists the available commodity presets.
+var PresetNames = ssd.PresetNames
+
+// Precondition purges and dirties a device to GC steady state (the SNIA
+// practice the paper follows) and returns the virtual time afterwards.
+func Precondition(dev TaggedDevice, seed uint64, factor float64, at Time) Time {
+	return trace.Precondition(dev, seed, factor, at)
+}
+
+// Diagnosis (paper §III-B).
+type (
+	// Features is everything the diagnosis extracts from a device.
+	Features = extract.Features
+	// DiagnosisOpts tunes the diagnosis probes.
+	DiagnosisOpts = extract.Opts
+)
+
+// Diagnose runs SSDcheck's diagnosis code snippets against a black-box
+// device: latency thresholds, allocation-volume scan, GC-volume scan and
+// write-buffer analysis. It returns the extracted features, the virtual
+// time when diagnosis finished, and an error if the device is outside
+// the model's coverage.
+func Diagnose(dev Device, start Time, opts DiagnosisOpts) (*Features, Time, error) {
+	return extract.Run(dev, start, opts)
+}
+
+// Prediction (paper §III-C).
+type (
+	// Predictor is the runtime framework: prediction engine, latency
+	// monitor and calibrator.
+	Predictor = core.Predictor
+	// PredictorParams tunes the runtime framework.
+	PredictorParams = core.Params
+	// Prediction is the engine's per-request answer.
+	Prediction = core.Prediction
+	// AccuracyReport tallies NL/HL prediction accuracy.
+	AccuracyReport = core.AccuracyReport
+)
+
+// NewPredictor constructs the runtime framework from extracted features.
+func NewPredictor(f *Features, p PredictorParams) *Predictor {
+	return core.NewPredictor(f, p)
+}
+
+// EvaluateAccuracy replays requests and scores the predictor against
+// measured latency classes (the Fig. 11 methodology).
+func EvaluateAccuracy(dev Device, pr *Predictor, reqs []Request, start Time) AccuracyReport {
+	return core.Evaluate(dev, pr, reqs, start)
+}
+
+// LoadFeatures reads a diagnosis saved with Features.Save, so a device
+// model can be diagnosed once and reused.
+var LoadFeatures = extract.LoadFeatures
+
+// Workloads (paper Table II).
+type (
+	// Workload describes a synthetic block workload.
+	Workload = trace.Spec
+	// WorkloadGenerator streams a workload's requests.
+	WorkloadGenerator = trace.Generator
+)
+
+// The evaluation workloads.
+var (
+	TPCE       = trace.TPCE
+	Homes      = trace.Homes
+	Web        = trace.Web
+	Exch       = trace.Exch
+	Live       = trace.Live
+	Build      = trace.Build
+	RWMixed    = trace.RWMixed
+	WriteBurst = trace.WriteBurst
+	Workloads  = trace.Workloads
+)
+
+// GenerateWorkload materializes n requests of a workload for a device of
+// the given capacity.
+func GenerateWorkload(spec Workload, capacitySectors int64, seed uint64, n int) []Request {
+	return trace.Generate(spec, capacitySectors, seed, n)
+}
+
+// Trace file I/O: plain-text block traces ("R|W|T lba sectors" lines).
+var (
+	ReadTraceFile   = trace.ReadRequests
+	WriteTraceFile  = trace.WriteRequests
+	ClampToCapacity = trace.ClampToCapacity
+)
+
+// Use case 1: volume managers (paper §IV-A).
+type (
+	// VolumeMapper remaps tenant LBAs onto a shared device.
+	VolumeMapper = lvm.Mapper
+	// TenantSpec describes one colocated workload.
+	TenantSpec = lvm.TenantSpec
+	// TenantResult is one tenant's measured outcome.
+	TenantResult = lvm.TenantResult
+)
+
+// NewLinearLVM builds the conventional contiguous-split volume manager.
+func NewLinearLVM(capacitySectors int64, volumes int) VolumeMapper {
+	return lvm.NewLinear(capacitySectors, volumes)
+}
+
+// NewVALVM builds the paper's volume-aware LVM over the extracted
+// internal volume-index bits.
+func NewVALVM(capacitySectors int64, volumeBits []int) VolumeMapper {
+	return lvm.NewVolumeAware(capacitySectors, volumeBits)
+}
+
+// RunMultiTenant colocates tenants on a device through a volume manager
+// for a virtual-time window.
+var RunMultiTenant = lvm.RunMultiTenant
+
+// Use case 2: schedulers (paper §IV-B).
+type (
+	// Scheduler is the host I/O scheduler contract.
+	Scheduler = host.Scheduler
+	// QueueItem is a queued request as schedulers see it.
+	QueueItem = host.Item
+	// HostRecord is one request's life through the host queue.
+	HostRecord = host.Record
+)
+
+// Baseline and prediction-aware schedulers.
+func NewNoop() Scheduler                       { return sched.NewNoop() }
+func NewDeadline() Scheduler                   { return sched.NewDeadline() }
+func NewCFQ() Scheduler                        { return sched.NewCFQ() }
+func NewPAS(p *Predictor) Scheduler            { return sched.NewPAS(p) }
+func NewIdealPAS(o sched.OracleFunc) Scheduler { return sched.NewIdealPAS(o) }
+
+// NewFIOS builds the classic FIOS-style fair scheduler (read-after-write
+// assumed slow); NewFIOSWithPredictor lifts that assumption with
+// SSDcheck predictions (paper §VII).
+func NewFIOS() Scheduler                          { return sched.NewFIOS() }
+func NewFIOSWithPredictor(p *Predictor) Scheduler { return sched.NewFIOSWithPredictor(p) }
+
+// Drive runs an arrival stream through a scheduler and a device.
+var Drive = host.Drive
+
+// DriveClosedLoop keeps a fixed queue depth outstanding.
+var DriveClosedLoop = host.DriveClosedLoop
+
+// Hybrid PAS with an NVM tier (paper §IV-B).
+type (
+	// NVMTier models the fast non-volatile memory tier.
+	NVMTier = nvm.Tier
+	// HybridConfig parameterizes a two-tier run.
+	HybridConfig = nvm.Config
+	// HybridResult is a two-tier run's outcome.
+	HybridResult = nvm.Result
+)
+
+// Hybrid policies.
+const (
+	HybridBaseline = nvm.Baseline
+	HybridPAS      = nvm.HybridPAS
+)
+
+// RunHybrid drives a request stream through the NVM+SSD stack.
+var RunHybrid = nvm.Run
+
+// CalibrateHybrid derives a hybrid configuration whose pacing and drain
+// rate match the device, as the Fig. 15 experiments require.
+var CalibrateHybrid = nvm.CalibratedConfig
