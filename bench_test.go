@@ -10,6 +10,8 @@
 package ssdcheck_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -188,6 +190,70 @@ func BenchmarkFig15_HybridPAS(b *testing.B) {
 			red += p.ReductionPct
 		}
 		b.ReportMetric(red/float64(len(r.Pressure)), "nvmPressureRedPct") // paper: 16.7-28.7%
+	}
+}
+
+// BenchmarkFleetSubmit measures aggregate fleet throughput
+// (predictions per wall second across a 16-device mixed-preset fleet)
+// as the shard count sweeps 1/2/4/8. Each device is fed from its own
+// goroutine in batches, so throughput should scale near-linearly with
+// shards on a multi-core runner.
+func BenchmarkFleetSubmit(b *testing.B) {
+	const nDevices = 16
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+				Devices:            ssdcheck.FleetPresetDevices(nDevices, nil, 42),
+				Shards:             shards,
+				PreconditionFactor: 1.2,
+				Diagnosis:          ssdcheck.FastDiagnosis(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+
+			ids := m.DeviceIDs()
+			streams := make([][]ssdcheck.FleetRequest, len(ids))
+			for i, id := range ids {
+				reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, uint64(100+i), 4096)
+				streams[i] = make([]ssdcheck.FleetRequest, len(reqs))
+				for j, r := range reqs {
+					streams[i][j] = ssdcheck.FleetRequest{DeviceID: id, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+				}
+			}
+
+			perDev := b.N/nDevices + 1
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := range ids {
+				wg.Add(1)
+				go func(stream []ssdcheck.FleetRequest) {
+					defer wg.Done()
+					const chunk = 64
+					for sent := 0; sent < perDev; sent += chunk {
+						n := chunk
+						if left := perDev - sent; left < n {
+							n = left
+						}
+						off := sent % len(stream)
+						if off+n > len(stream) {
+							off = 0
+						}
+						if _, err := m.SubmitBatch(stream[off : off+n]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(streams[i])
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			total := float64(perDev * nDevices)
+			b.ReportMetric(total/elapsed, "predictions/s")
+			b.ReportMetric(total/float64(b.N), "reqs/op")
+		})
 	}
 }
 

@@ -25,6 +25,14 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text or json (json requires a single -run)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional argument ("experiments fig11") used to be
+		// silently ignored and everything ran; fail loudly instead.
+		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments: %s (use -run NAME)\n",
+			strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ssdcheck"
@@ -30,6 +31,14 @@ func main() {
 	requests := flag.Int("requests", 50000, "request count for synthetic workloads")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional argument ("replay mytrace.txt") used to be
+		// silently ignored and the defaults ran; fail loudly instead.
+		fmt.Fprintf(os.Stderr, "replay: unexpected arguments: %s (use -trace FILE)\n",
+			strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if err := run(*preset, *traceFile, *workload, *requests, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)

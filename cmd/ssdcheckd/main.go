@@ -1,0 +1,150 @@
+// Command ssdcheckd is the fleet prediction daemon: it stands up N
+// simulated devices with one SSDcheck predictor each (sharded across a
+// worker pool; see internal/fleet) and serves predictions and metrics
+// over a JSON HTTP API.
+//
+// Endpoints:
+//
+//	POST /v1/submit        {"requests":[{"device":"ssd-00-A","op":"write","lba":4096,"sectors":8}]}
+//	GET  /v1/devices       per-device stats snapshots
+//	GET  /v1/devices/{id}  one device's stats and model state
+//	GET  /v1/metrics       fleet-wide aggregate
+//	GET  /healthz          liveness
+//
+// Usage:
+//
+//	ssdcheckd -addr :8080 -devices 16 -presets A,B,C,D,E,F,G,H -shards 4
+//	ssdcheckd -devices 4 -features ./diagnoses   # preload saved diagnoses
+//
+// With -features DIR, a file DIR/<deviceID>.json saved via the
+// diagnosis persistence format (extract.Features.Save) is loaded at
+// startup and the device skips its online diagnosis probes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	devices := flag.Int("devices", 16, "number of simulated devices")
+	presets := flag.String("presets", "A,B,C,D,E,F,G,H", "comma-separated preset cycle")
+	shards := flag.Int("shards", 0, "worker shards (0 = one per core, capped at device count)")
+	seed := flag.Uint64("seed", 42, "base seed; per-device seeds derive from it")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	featuresDir := flag.String("features", "", "directory of persisted diagnoses (<deviceID>.json)")
+	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ssdcheckd: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdcheckd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool) error {
+	if devices <= 0 {
+		return fmt.Errorf("need at least one device (-devices)")
+	}
+	var cycle []string
+	for _, p := range strings.Split(presets, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cycle = append(cycle, p)
+		}
+	}
+
+	cfg := fleet.Config{
+		Devices:    fleet.PresetDevices(devices, cycle, seed),
+		Shards:     shards,
+		QueueDepth: queue,
+	}
+	if fastDiag {
+		cfg.Diagnosis = fleet.FastDiagnosis()
+	}
+	if featuresDir != "" {
+		if err := loadFeatures(cfg.Devices, featuresDir); err != nil {
+			return err
+		}
+	}
+
+	log.Printf("diagnosing %d devices across %d shards...", devices, max(shards, 1))
+	start := time.Now()
+	m, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	log.Printf("fleet up in %v: devices=%s", time.Since(start).Round(time.Millisecond),
+		strings.Join(m.DeviceIDs(), ","))
+
+	srv := &http.Server{Addr: addr, Handler: newServer(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting HTTP, finish in-flight
+	// handlers, then drain the shard queues.
+	log.Printf("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	m.Close()
+	log.Printf("fleet drained, bye")
+	return nil
+}
+
+// loadFeatures attaches persisted diagnoses to matching device specs. A
+// missing file is fine (the device diagnoses online); a corrupt one is
+// a startup error.
+func loadFeatures(specs []fleet.DeviceSpec, dir string) error {
+	for i := range specs {
+		path := filepath.Join(dir, specs[i].ID+".json")
+		f, err := os.Open(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		feats, device, err := extract.LoadFeatures(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		specs[i].Features = feats
+		log.Printf("loaded diagnosis for %s (%s)", specs[i].ID, device)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/fleet"
+)
+
+// submitRequest is the wire form of one fleet request: the op travels
+// as its conventional name ("read", "write", "trim").
+type submitRequest struct {
+	Device  string `json:"device"`
+	Op      string `json:"op"`
+	LBA     int64  `json:"lba"`
+	Sectors int    `json:"sectors"`
+}
+
+type submitBody struct {
+	Requests []submitRequest `json:"requests"`
+}
+
+type submitResponse struct {
+	Results []fleet.Result `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func parseOp(s string) (blockdev.Op, error) {
+	switch strings.ToLower(s) {
+	case "read", "r":
+		return blockdev.Read, nil
+	case "write", "w":
+		return blockdev.Write, nil
+	case "trim", "t":
+		return blockdev.Trim, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q (want read, write or trim)", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// newServer wires the fleet manager into the daemon's HTTP surface.
+func newServer(m *fleet.Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"devices": len(m.DeviceIDs()),
+			"shards":  m.Shards(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var body submitBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(body.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+			return
+		}
+		batch := make([]fleet.Request, 0, len(body.Requests))
+		for i, sr := range body.Requests {
+			op, err := parseOp(sr.Op)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			batch = append(batch, fleet.Request{DeviceID: sr.Device, Op: op, LBA: sr.LBA, Sectors: sr.Sectors})
+		}
+		results, err := m.SubmitBatch(batch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, submitResponse{Results: results})
+	})
+
+	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"devices": m.Devices()})
+	})
+
+	mux.HandleFunc("GET /v1/devices/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		snap, ok := m.Device(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+
+	return mux
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// newTestFleet stands up the acceptance fleet: 16 devices cycling
+// through every preset, reduced-strength diagnosis to keep the test
+// fast.
+func newTestFleet(t *testing.T) *fleet.Manager {
+	t.Helper()
+	m, err := fleet.New(fleet.Config{
+		Devices:            fleet.PresetDevices(16, nil, 99),
+		Shards:             4,
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	m := newTestFleet(t)
+	srv := httptest.NewServer(newServer(m))
+	defer srv.Close()
+
+	// Liveness.
+	var health map[string]any
+	if resp := getJSON(t, srv, "/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+	if health["devices"].(float64) != 16 {
+		t.Fatalf("/healthz devices = %v, want 16", health["devices"])
+	}
+
+	// Submit a mixed batch across every device.
+	ids := m.DeviceIDs()
+	var body submitBody
+	const perDev = 40
+	for step := 0; step < perDev; step++ {
+		for i, id := range ids {
+			reqs := trace.Generate(trace.RWMixed, 1<<20, uint64(500+i), perDev)
+			r := reqs[step]
+			op := "write"
+			if r.Op == blockdev.Read {
+				op = "read"
+			}
+			body.Requests = append(body.Requests, submitRequest{
+				Device: id, Op: op, LBA: r.LBA, Sectors: r.Sectors,
+			})
+		}
+	}
+	buf, _ := json.Marshal(body)
+	resp, err := srv.Client().Post(srv.URL+"/v1/submit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subResp submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&subResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/submit: %d", resp.StatusCode)
+	}
+	if len(subResp.Results) != len(body.Requests) {
+		t.Fatalf("got %d results, want %d", len(subResp.Results), len(body.Requests))
+	}
+	for i, r := range subResp.Results {
+		if r.DeviceID != body.Requests[i].Device {
+			t.Fatalf("result %d device %q, want %q", i, r.DeviceID, body.Requests[i].Device)
+		}
+		if r.Latency <= 0 {
+			t.Fatalf("result %d has non-positive latency: %+v", i, r)
+		}
+	}
+
+	// Device listing and single-device state.
+	var devList struct {
+		Devices []fleet.DeviceSnapshot `json:"devices"`
+	}
+	getJSON(t, srv, "/v1/devices", &devList)
+	if len(devList.Devices) != 16 {
+		t.Fatalf("/v1/devices: %d devices, want 16", len(devList.Devices))
+	}
+	var one fleet.DeviceSnapshot
+	if resp := getJSON(t, srv, "/v1/devices/"+ids[0], &one); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/devices/%s: %d", ids[0], resp.StatusCode)
+	}
+	if one.Counters.Requests != perDev {
+		t.Fatalf("device %s served %d requests, want %d", ids[0], one.Counters.Requests, perDev)
+	}
+
+	// Fleet metrics aggregate the batch.
+	var met fleet.Metrics
+	getJSON(t, srv, "/v1/metrics", &met)
+	if want := int64(perDev * 16); met.Counters.Requests != want {
+		t.Fatalf("/v1/metrics counters %d, want %d", met.Counters.Requests, want)
+	}
+	if met.Latency.P50 <= 0 {
+		t.Fatalf("/v1/metrics has no latency percentiles: %+v", met.Latency)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	m, err := fleet.New(fleet.Config{
+		Devices:            []fleet.DeviceSpec{{ID: "solo", Preset: "A", Seed: 5}},
+		Shards:             1,
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(newServer(m))
+	defer srv.Close()
+
+	post := func(body string) int {
+		resp, err := srv.Client().Post(srv.URL+"/v1/submit", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d, want 400", code)
+	}
+	if code := post(`{"requests":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", code)
+	}
+	if code := post(`{"requests":[{"device":"solo","op":"erase","lba":0,"sectors":8}]}`); code != http.StatusBadRequest {
+		t.Errorf("bad op: %d, want 400", code)
+	}
+	if code := post(`{"requests":[{"device":"ghost","op":"read","lba":0,"sectors":8}]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown device: %d, want 400", code)
+	}
+	if code := post(`{"requests":[{"device":"solo","op":"read","lba":-4096,"sectors":8}]}`); code != http.StatusBadRequest {
+		t.Errorf("negative LBA: %d, want 400", code)
+	}
+	if code := post(`{"requests":[{"device":"solo","op":"read","lba":99999999999,"sectors":8}]}`); code != http.StatusBadRequest {
+		t.Errorf("out-of-range LBA: %d, want 400", code)
+	}
+	if resp := getJSON(t, srv, "/v1/devices/ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown device snapshot: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLoadFeaturesDir covers the startup path that attaches persisted
+// diagnoses to device specs.
+func TestLoadFeaturesDir(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg, err := ssd.Preset("A", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.MustNew(cfg)
+	now := trace.Precondition(dev, 7, 1.2, 0)
+	opts := fleet.FastDiagnosis()
+	opts.Seed = 7
+	feats, _, err := extract.Run(dev, now, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "ssd-00-A.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feats.Save(f, "SSD A"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	specs := fleet.PresetDevices(2, []string{"A"}, 7)
+	if err := loadFeatures(specs, dir); err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Features == nil {
+		t.Error("spec 0: persisted diagnosis not attached")
+	}
+	if specs[1].Features != nil {
+		t.Error("spec 1: features attached without a file")
+	}
+
+	// A corrupt file is a hard startup error.
+	if err := os.WriteFile(filepath.Join(dir, "ssd-01-A.json"), []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadFeatures(fleet.PresetDevices(2, []string{"A"}, 7), dir); err == nil {
+		t.Error("corrupt features file accepted")
+	}
+}

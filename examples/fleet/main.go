@@ -1,0 +1,75 @@
+// Fleet: SSDcheck at datacenter scale — eight mixed-preset devices,
+// one predictor each, sharded across a worker pool, driven from one
+// goroutine per device, with per-device and fleet-wide streaming stats.
+// This is the library-level view of what cmd/ssdcheckd serves over
+// HTTP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ssdcheck"
+)
+
+func main() {
+	// 1. A fleet: eight devices cycling through presets A–H, four
+	//    worker shards. Every device preconditions and diagnoses at
+	//    startup (shard-parallel); FastDiagnosis keeps that quick.
+	m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+		Devices:   ssdcheck.FleetPresetDevices(8, nil, 42),
+		Shards:    4,
+		Diagnosis: ssdcheck.FastDiagnosis(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	fmt.Printf("fleet up: %d devices on %d shards\n", len(m.DeviceIDs()), m.Shards())
+
+	// 2. Drive every device concurrently with its own workload stream.
+	//    Per-device streams are deterministic, so this run's stats are
+	//    reproducible regardless of scheduling.
+	const perDevice = 20000
+	var wg sync.WaitGroup
+	for i, id := range m.DeviceIDs() {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, uint64(7+i), perDevice)
+			const chunk = 128
+			for off := 0; off < len(reqs); off += chunk {
+				end := off + chunk
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				batch := make([]ssdcheck.FleetRequest, 0, end-off)
+				for _, r := range reqs[off:end] {
+					batch = append(batch, ssdcheck.FleetRequest{
+						DeviceID: id, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors,
+					})
+				}
+				if _, err := m.SubmitBatch(batch); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+
+	// 3. Per-device stats: HL rate, prediction accuracy, tail latency.
+	fmt.Printf("\n%-12s %-8s %9s %7s %7s %10s %10s\n",
+		"device", "preset", "requests", "HL%", "HLacc%", "p99", "p99.9")
+	for _, d := range m.Devices() {
+		fmt.Printf("%-12s %-8s %9d %6.2f%% %6.1f%% %10v %10v\n",
+			d.ID, d.Device, d.Counters.Requests, 100*d.HLRate, 100*d.HLAccuracy,
+			d.Latency.P99, d.Latency.P999)
+	}
+
+	// 4. Fleet-wide aggregate.
+	met := m.Metrics()
+	fmt.Printf("\nfleet: %d requests, HL rate %.2f%%, HL accuracy %.1f%%, NL accuracy %.1f%%, p50 %v, p99 %v\n",
+		met.Counters.Requests, 100*met.HLRate, 100*met.HLAccuracy, 100*met.NLAccuracy,
+		met.Latency.P50, met.Latency.P99)
+}

@@ -62,6 +62,12 @@ func (r Request) Bytes() int { return r.Sectors * SectorSize }
 
 // Device is the black-box view of a block device: the only operations a
 // host (and therefore SSDcheck) has available.
+//
+// Implementations are not required to be (and the simulated devices are
+// not) safe for concurrent use: submissions to one Device must come
+// from one goroutine, in non-decreasing time order. internal/fleet is
+// the concurrent entry point — it gives every device a single owning
+// goroutine.
 type Device interface {
 	// Submit hands the device a request at virtual instant at and
 	// returns the instant the request completes. Submissions touching

@@ -77,6 +77,12 @@ type Prediction struct {
 }
 
 // Predictor is SSDcheck's runtime framework for one device.
+//
+// A Predictor is not safe for concurrent use: Predict, Observe and the
+// accessors expect the single-threaded predict → submit → observe
+// discipline of one I/O stream. Run one Predictor per device from one
+// goroutine; internal/fleet is the concurrent entry point that owns
+// many predictors this way without locks.
 type Predictor struct {
 	params   Params
 	features *extract.Features

@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ssdcheck/internal/simclock"
+)
+
+// randFeatures generates a random valid Features value. Slices are left
+// nil when empty so a JSON round trip (which cannot distinguish nil
+// from empty) can be compared with reflect.DeepEqual.
+func randFeatures(rng *simclock.RNG) *Features {
+	f := &Features{
+		BufferBytes:    (1 + rng.Intn(256)) * 1024,
+		BufferKind:     BufferKind(rng.Intn(3)),
+		ReadThreshold:  time.Duration(1+rng.Intn(1000)) * time.Microsecond,
+		WriteThreshold: time.Duration(1+rng.Intn(1000)) * time.Microsecond,
+		FlushOverhead:  time.Duration(rng.Intn(5000)) * time.Microsecond,
+		GCOverhead:     time.Duration(rng.Intn(100)) * time.Millisecond,
+	}
+	if n := rng.Intn(3); n > 0 {
+		bit := 12 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			f.VolumeBits = append(f.VolumeBits, bit)
+			bit += 1 + rng.Intn(3)
+		}
+	}
+	for _, a := range []FlushAlgorithm{FlushFull, FlushReadTrigger} {
+		if rng.Intn(2) == 1 {
+			f.FlushAlgorithms = append(f.FlushAlgorithms, a)
+		}
+	}
+	if n := rng.Intn(6); n > 0 {
+		for i := 0; i < n; i++ {
+			f.GCIntervalWrites = append(f.GCIntervalWrites, float64(rng.Intn(4000)))
+		}
+	}
+	if rng.Intn(2) == 1 {
+		f.SLCCachePages = rng.Intn(1 << 12)
+		f.SLCFoldOverhead = time.Duration(rng.Intn(200)) * time.Millisecond
+	}
+	if n := rng.Intn(4); n > 0 {
+		for i := 0; i < n; i++ {
+			f.AllocScan = append(f.AllocScan, BitThroughput{
+				Bit: 12 + i, MBps: float64(rng.Intn(500)), Ratio: float64(rng.Intn(100)) / 100,
+			})
+			f.GCScan = append(f.GCScan, BitPValue{
+				Bit: 12 + i, PValue: float64(rng.Intn(1000)) / 1000,
+			})
+		}
+	}
+	return f
+}
+
+// TestPersistRoundTripProperty: for any valid Features value,
+// save → load is the identity.
+func TestPersistRoundTripProperty(t *testing.T) {
+	rng := simclock.NewRNG(0xfeed)
+	for i := 0; i < 200; i++ {
+		f := randFeatures(rng)
+		var buf bytes.Buffer
+		if err := f.Save(&buf, "dev"); err != nil {
+			t.Fatalf("case %d: save: %v (features %+v)", i, err, f)
+		}
+		got, device, err := LoadFeatures(&buf)
+		if err != nil {
+			t.Fatalf("case %d: load: %v\njson: %s", i, err, buf.String())
+		}
+		if device != "dev" {
+			t.Fatalf("case %d: device label %q", i, device)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("case %d: round trip not identity\nsaved:  %+v\nloaded: %+v\njson: %s",
+				i, f, got, buf.String())
+		}
+	}
+}
+
+// TestPersistTruncated: every strict prefix of a saved file must be
+// rejected, never silently half-loaded — ssdcheckd loads these files at
+// startup and a torn write must fail loudly.
+func TestPersistTruncated(t *testing.T) {
+	rng := simclock.NewRNG(7)
+	f := randFeatures(rng)
+	f.VolumeBits = []int{17, 18} // ensure a non-trivial payload
+	var buf bytes.Buffer
+	if err := f.Save(&buf, "SSD E"); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 1 + cut/8 {
+		if _, _, err := LoadFeatures(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("accepted %d/%d-byte truncation", cut, len(full))
+		}
+	}
+}
+
+// TestPersistCorrupt extends the error-path cases beyond what
+// TestLoadFeaturesRejectsGarbage covers: semantic corruption that is
+// still well-formed JSON.
+func TestPersistCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"empty file":         ``,
+		"null payload":       `{"version": 1, "features": null}`,
+		"negative buffer":    `{"version": 1, "features": {"BufferBytes": -1, "ReadThreshold": 1000, "WriteThreshold": 1000}}`,
+		"negative slc":       `{"version": 1, "features": {"SLCCachePages": -4, "ReadThreshold": 1000, "WriteThreshold": 1000}}`,
+		"zero thresholds":    `{"version": 1, "features": {"ReadThreshold": 0, "WriteThreshold": 0}}`,
+		"volume bit range":   `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "VolumeBits": [63]}}`,
+		"duplicate bits":     `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "VolumeBits": [17, 17]}}`,
+		"unknown flush algo": `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "FlushAlgorithms": ["sometimes"]}}`,
+		"wrong type":         `{"version": 1, "features": {"ReadThreshold": "soon"}}`,
+		"version zero":       `{"features": {"ReadThreshold": 1, "WriteThreshold": 1}}`,
+	}
+	for name, c := range cases {
+		if _, _, err := LoadFeatures(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted %q", name, c)
+		}
+	}
+}

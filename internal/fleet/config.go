@@ -1,0 +1,177 @@
+// Package fleet is the concurrent, multi-device layer of the
+// reproduction: a manager that owns many simulated SSDs with one
+// SSDcheck predictor each, shards them across a bounded pool of worker
+// goroutines, and serves per-request predictions plus streaming fleet
+// metrics. It is the scale-out counterpart of the strictly sequential
+// single-device pipeline in internal/core — hyperscale operators run
+// SSDcheck-style prediction across thousands of drives at once, and
+// this package is the entry point for that deployment shape.
+//
+// Concurrency model: neither the simulator (internal/ssd) nor the
+// predictor (internal/core) is safe for concurrent use, and the fleet
+// never needs them to be. Every device is owned by exactly one shard,
+// each shard is one goroutine, and all device/predictor state is
+// touched only from that goroutine. Requests reach a shard through its
+// channel; results travel back through per-batch synchronization. The
+// only shared mutable state is the per-device stats block, which sits
+// behind a mutex so metrics endpoints can read while shards write.
+//
+// Determinism: every device runs on its own virtual clock and every
+// random decision (simulator noise, diagnosis probes, preconditioning)
+// derives from the device's seed. Per-device request streams therefore
+// produce byte-identical per-device stats regardless of shard count,
+// scheduling order, or wall-clock behavior — fleet runs are exactly
+// reproducible, including under the race detector.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/ssd"
+)
+
+// DeviceSpec describes one member of the fleet.
+type DeviceSpec struct {
+	// ID is the fleet-unique device identifier ("ssd-00", ...).
+	ID string
+
+	// Preset names the simulated device configuration ("A".."H", "X").
+	// Ignored when Config is set.
+	Preset string
+
+	// Config, when non-nil, is an explicit simulator configuration that
+	// overrides Preset.
+	Config *ssd.Config
+
+	// Seed drives everything random about this device: the simulator's
+	// internal noise, preconditioning, and the diagnosis probes. Two
+	// specs with equal configuration and seed behave identically.
+	Seed uint64
+
+	// Features, when non-nil, is a previously extracted diagnosis
+	// (e.g. loaded from a file saved with extract.Features.Save); the
+	// manager then skips probing the device at startup.
+	Features *extract.Features
+
+	// Params tunes this device's predictor; the zero value takes the
+	// standard defaults.
+	Params core.Params
+
+	// Shard is a 1-based shard pin; 0 selects automatic round-robin
+	// assignment. Pinning matters only for load placement — per-device
+	// results are identical either way.
+	Shard int
+}
+
+// Config parameterizes a fleet manager.
+type Config struct {
+	// Devices lists the fleet members. IDs must be unique.
+	Devices []DeviceSpec
+
+	// Shards is the worker-pool size: one goroutine per shard, each
+	// owning a disjoint subset of the devices. 0 defaults to
+	// min(len(Devices), GOMAXPROCS).
+	Shards int
+
+	// QueueDepth is the per-shard request-channel buffer; 0 defaults
+	// to 64.
+	QueueDepth int
+
+	// PreconditionFactor is the dirtying factor applied before
+	// diagnosis (the SNIA steady-state practice). 0 defaults to 1.3;
+	// negative skips preconditioning entirely.
+	PreconditionFactor float64
+
+	// Diagnosis tunes the startup probes for devices without preloaded
+	// Features. The zero value uses the full-strength defaults.
+	Diagnosis extract.Opts
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > len(c.Devices) && len(c.Devices) > 0 {
+		c.Shards = len(c.Devices)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PreconditionFactor == 0 {
+		c.PreconditionFactor = 1.3
+	}
+	return c
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	if len(c.Devices) == 0 {
+		return fmt.Errorf("fleet: no devices configured")
+	}
+	shards := c.withDefaults().Shards
+	seen := make(map[string]bool, len(c.Devices))
+	for i, d := range c.Devices {
+		if d.ID == "" {
+			return fmt.Errorf("fleet: device %d has no ID", i)
+		}
+		if seen[d.ID] {
+			return fmt.Errorf("fleet: duplicate device ID %q", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Config == nil {
+			if _, err := ssd.Preset(d.Preset, d.Seed); err != nil {
+				return fmt.Errorf("fleet: device %q: %w", d.ID, err)
+			}
+		} else if err := d.Config.Validate(); err != nil {
+			return fmt.Errorf("fleet: device %q: %w", d.ID, err)
+		}
+		if d.Shard < 0 || d.Shard > shards {
+			return fmt.Errorf("fleet: device %q pinned to shard %d of %d", d.ID, d.Shard, shards)
+		}
+		if d.Features != nil {
+			if err := d.Features.Validate(); err != nil {
+				return fmt.Errorf("fleet: device %q: %w", d.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// PresetDevices builds n device specs cycling through the given preset
+// names ("A".."H", "X"), with IDs like "ssd-00-A" and per-device seeds
+// derived from baseSeed. It is the standard way to stand up a
+// mixed-preset fleet for the daemon, examples, and benchmarks.
+func PresetDevices(n int, presets []string, baseSeed uint64) []DeviceSpec {
+	if len(presets) == 0 {
+		presets = append([]string(nil), ssd.ExtendedPresetNames...)
+	}
+	out := make([]DeviceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		p := presets[i%len(presets)]
+		out = append(out, DeviceSpec{
+			ID:     fmt.Sprintf("ssd-%02d-%s", i, p),
+			Preset: p,
+			Seed:   baseSeed + uint64(i)*0x9e3779b9,
+		})
+	}
+	return out
+}
+
+// FastDiagnosis returns reduced-strength diagnosis options that still
+// recover every structural feature of the built-in presets but probe an
+// order of magnitude fewer requests. Tests, benchmarks, and quickstart
+// fleets use it to keep startup short; production diagnosis should use
+// the zero-value (full-strength) Opts.
+func FastDiagnosis() extract.Opts {
+	return extract.Opts{
+		MinBit:            16,
+		MaxBit:            18,
+		AllocWritesPerBit: 1500,
+		GCIntervals:       12,
+		Thinktimes:        []time.Duration{500 * time.Microsecond},
+	}
+}

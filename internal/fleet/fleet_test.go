@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/trace"
+)
+
+// testSpecs builds a small mixed-preset fleet covering single-volume,
+// multi-volume, fore-buffered and SLC-cached devices.
+func testSpecs() []DeviceSpec {
+	return []DeviceSpec{
+		{ID: "dev-a", Preset: "A", Seed: 11},
+		{ID: "dev-d", Preset: "D", Seed: 22},
+		{ID: "dev-f", Preset: "F", Seed: 33},
+		{ID: "dev-h", Preset: "H", Seed: 44},
+	}
+}
+
+func testConfig(devs []DeviceSpec, shards int) Config {
+	return Config{
+		Devices:            devs,
+		Shards:             shards,
+		PreconditionFactor: 1.2,
+		Diagnosis:          FastDiagnosis(),
+	}
+}
+
+// streams generates one deterministic request stream per device.
+func streams(devs []DeviceSpec, n int) map[string][]blockdev.Request {
+	out := make(map[string][]blockdev.Request, len(devs))
+	for i, d := range devs {
+		out[d.ID] = trace.Generate(trace.RWMixed, 1<<20, 1000+uint64(i), n)
+	}
+	return out
+}
+
+// runInterleaved submits the streams as mixed batches (one request per
+// device per step) from a single goroutine, preserving per-device
+// order, and returns the final per-device snapshots.
+func runInterleaved(t *testing.T, cfg Config, strs map[string][]blockdev.Request, n int) []DeviceSnapshot {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for step := 0; step < n; step++ {
+		batch := make([]Request, 0, len(cfg.Devices))
+		for _, d := range cfg.Devices {
+			r := strs[d.ID][step]
+			batch = append(batch, Request{DeviceID: d.ID, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors})
+		}
+		res, err := m.SubmitBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.DeviceID != batch[i].DeviceID {
+				t.Fatalf("result %d for device %q, want %q", i, r.DeviceID, batch[i].DeviceID)
+			}
+		}
+	}
+	return m.Devices()
+}
+
+// marshalStats renders snapshots with the shard assignment cleared, so
+// fleets with different shard counts can be compared byte for byte.
+func marshalStats(t *testing.T, snaps []DeviceSnapshot) []byte {
+	t.Helper()
+	for i := range snaps {
+		snaps[i].Shard = 0
+	}
+	b, err := json.MarshalIndent(snaps, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterminism: the same config, seeds and per-device request
+// streams must yield byte-identical per-device stats — across repeated
+// runs and across shard counts.
+func TestDeterminism(t *testing.T) {
+	const n = 2500
+	devs := testSpecs()
+	strs := streams(devs, n)
+
+	var base []byte
+	for _, shards := range []int{1, 1, 3} {
+		got := marshalStats(t, runInterleaved(t, testConfig(devs, shards), strs, n))
+		if base == nil {
+			base = got
+			continue
+		}
+		if !bytes.Equal(base, got) {
+			t.Errorf("shards=%d: per-device stats diverge from baseline\nbase: %s\ngot:  %s", shards, base, got)
+		}
+	}
+}
+
+// TestDeterminismPinned: a device set pinned to a single shard behaves
+// identically when the fleet has more shards available.
+func TestDeterminismPinned(t *testing.T) {
+	const n = 1200
+	devs := testSpecs()
+	strs := streams(devs, n)
+
+	pin := func(shard int) []DeviceSpec {
+		out := append([]DeviceSpec(nil), devs...)
+		for i := range out {
+			out[i].Shard = shard
+		}
+		return out
+	}
+
+	a := marshalStats(t, runInterleaved(t, testConfig(pin(1), 1), strs, n))
+	b := marshalStats(t, runInterleaved(t, testConfig(pin(2), 4), strs, n))
+	if !bytes.Equal(a, b) {
+		t.Errorf("pinned device set diverges across shard counts\none: %s\ntwo: %s", a, b)
+	}
+}
+
+// TestConcurrentSubmit drives every device from its own goroutine while
+// metrics readers poll, then checks the aggregate counts. Run under
+// -race this is the fleet's central safety test.
+func TestConcurrentSubmit(t *testing.T) {
+	const n = 1500
+	devs := testSpecs()
+	strs := streams(devs, n)
+	m, err := New(testConfig(devs, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Metrics()
+			m.Devices()
+			m.Device("dev-a")
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, d := range devs {
+		wg.Add(1)
+		go func(id string, reqs []blockdev.Request) {
+			defer wg.Done()
+			const chunk = 64
+			for off := 0; off < len(reqs); off += chunk {
+				end := off + chunk
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				batch := make([]Request, 0, end-off)
+				for _, r := range reqs[off:end] {
+					batch = append(batch, Request{DeviceID: id, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors})
+				}
+				if _, err := m.SubmitBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(d.ID, strs[d.ID])
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	met := m.Metrics()
+	if want := int64(n * len(devs)); met.Counters.Requests != want {
+		t.Errorf("fleet processed %d requests, want %d", met.Counters.Requests, want)
+	}
+	if met.Devices != len(devs) {
+		t.Errorf("metrics report %d devices, want %d", met.Devices, len(devs))
+	}
+	for _, snap := range m.Devices() {
+		if snap.Counters.Requests != n {
+			t.Errorf("device %s processed %d requests, want %d", snap.ID, snap.Counters.Requests, n)
+		}
+		if snap.Latency.P50 <= 0 {
+			t.Errorf("device %s has no latency percentiles", snap.ID)
+		}
+	}
+}
+
+// TestPreloadedFeatures: a fleet member with a persisted diagnosis
+// skips probing and still predicts.
+func TestPreloadedFeatures(t *testing.T) {
+	cfg, err := ssd.Preset("A", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.MustNew(cfg)
+	now := trace.Precondition(dev, 7, 1.2, 0)
+	opts := FastDiagnosis()
+	opts.Seed = 7
+	feats, _, err := extract.Run(dev, now, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through the persistence layer, as ssdcheckd does.
+	var buf bytes.Buffer
+	if err := feats.Save(&buf, "SSD A"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := extract.LoadFeatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(Config{
+		Devices:            []DeviceSpec{{ID: "pre", Preset: "A", Seed: 7, Features: loaded}},
+		Shards:             1,
+		PreconditionFactor: -1, // features already describe steady state
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	res, err := m.Submit("pre", blockdev.Write, 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Errorf("no latency observed: %+v", res)
+	}
+	snap, ok := m.Device("pre")
+	if !ok || !snap.PredictorEnabled {
+		t.Errorf("preloaded predictor not enabled: %+v", snap)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	dup := Config{Devices: []DeviceSpec{{ID: "x", Preset: "A"}, {ID: "x", Preset: "B"}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate device ID accepted")
+	}
+	bad := Config{Devices: []DeviceSpec{{ID: "x", Preset: "nope"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	pin := Config{Devices: []DeviceSpec{{ID: "x", Preset: "A", Shard: 5}}, Shards: 2}
+	if err := pin.Validate(); err == nil {
+		t.Error("out-of-range shard pin accepted")
+	}
+
+	m, err := New(testConfig([]DeviceSpec{{ID: "only", Preset: "A", Seed: 3}}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("ghost", blockdev.Read, 0, 8); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := m.Submit("only", blockdev.Read, -8, 8); err == nil {
+		t.Error("negative LBA accepted")
+	}
+	if _, err := m.Submit("only", blockdev.Read, 1<<20, 8); err == nil {
+		t.Error("out-of-capacity LBA accepted")
+	}
+	if _, err := m.Submit("only", blockdev.Read, 0, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, ok := m.Device("ghost"); ok {
+		t.Error("snapshot for unknown device")
+	}
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Submit("only", blockdev.Read, 0, 8); err == nil {
+		t.Error("submit after Close accepted")
+	}
+}
+
+func TestPresetDevices(t *testing.T) {
+	specs := PresetDevices(16, []string{"A", "D", "F"}, 42)
+	if len(specs) != 16 {
+		t.Fatalf("got %d specs, want 16", len(specs))
+	}
+	seen := map[string]bool{}
+	for i, s := range specs {
+		if seen[s.ID] {
+			t.Errorf("duplicate ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		if want := []string{"A", "D", "F"}[i%3]; s.Preset != want {
+			t.Errorf("spec %d preset %q, want %q", i, s.Preset, want)
+		}
+	}
+	if err := (Config{Devices: specs}).Validate(); err != nil {
+		t.Errorf("generated specs invalid: %v", err)
+	}
+	// Empty preset list falls back to the extended preset set.
+	all := PresetDevices(8, nil, 1)
+	if all[7].Preset != "H" {
+		t.Errorf("fallback presets wrong: %+v", all[7])
+	}
+	_ = fmt.Sprintf("%v", all)
+}

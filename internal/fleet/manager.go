@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"ssdcheck/internal/ssd"
+	"ssdcheck/internal/stats"
+)
+
+// Manager owns a fleet of device+predictor pairs sharded across a
+// bounded worker pool. Construct one with New; submit work with Submit
+// and SubmitBatch; read per-device and fleet-wide stats at any time
+// with Device, Devices, and Metrics; stop it with Close.
+//
+// Manager is safe for concurrent use. The devices and predictors it
+// owns are not — that is the point: each lives on exactly one shard
+// goroutine, so the sequential single-device code runs unchanged and
+// unlocked.
+type Manager struct {
+	cfg    Config
+	shards []*shard
+	devs   map[string]*managedDevice
+	order  []string // device IDs in configuration order
+
+	runWG sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight channel sends
+	closed bool
+}
+
+// New builds the fleet: it constructs every device, preconditions and
+// diagnoses the ones without preloaded features (in parallel, one
+// worker per shard), constructs the predictors, and starts the shard
+// goroutines. On error everything already started is torn down.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	m := &Manager{cfg: cfg, devs: make(map[string]*managedDevice, len(cfg.Devices))}
+	for i := 0; i < cfg.Shards; i++ {
+		m.shards = append(m.shards, &shard{id: i, reqs: make(chan shardBatch, cfg.QueueDepth)})
+	}
+
+	auto := 0
+	for _, spec := range cfg.Devices {
+		dcfg := ssd.Config{}
+		if spec.Config != nil {
+			dcfg = *spec.Config
+		} else {
+			var err error
+			dcfg, err = ssd.Preset(spec.Preset, spec.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: device %q: %w", spec.ID, err)
+			}
+		}
+		dev, err := ssd.New(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %q: %w", spec.ID, err)
+		}
+		sh := spec.Shard - 1
+		if spec.Shard == 0 {
+			sh = auto % cfg.Shards
+			auto++
+		}
+		md := &managedDevice{id: spec.ID, name: dev.Name(), spec: spec, shard: sh, dev: dev}
+		m.devs[spec.ID] = md
+		m.order = append(m.order, spec.ID)
+		m.shards[sh].devs = append(m.shards[sh].devs, md)
+	}
+
+	// Startup diagnosis runs with shard-level parallelism: each shard's
+	// devices initialize sequentially on one worker, so a per-device
+	// init is as deterministic as it is in the single-device pipeline.
+	errs := make([]error, cfg.Shards)
+	var initWG sync.WaitGroup
+	for i, sh := range m.shards {
+		initWG.Add(1)
+		go func(i int, sh *shard) {
+			defer initWG.Done()
+			for _, md := range sh.devs {
+				if err := md.init(cfg); err != nil {
+					errs[i] = fmt.Errorf("fleet: device %q: diagnosis: %w", md.id, err)
+					return
+				}
+			}
+		}(i, sh)
+	}
+	initWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m.runWG.Add(cfg.Shards)
+	for _, sh := range m.shards {
+		go sh.run(&m.runWG)
+	}
+	return m, nil
+}
+
+// Close stops accepting new work, lets every shard drain its queue, and
+// waits for the shard goroutines to exit. It is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, sh := range m.shards {
+		close(sh.reqs)
+	}
+	m.mu.Unlock()
+	m.runWG.Wait()
+}
+
+// Shards returns the worker-pool size.
+func (m *Manager) Shards() int { return m.cfg.Shards }
+
+// DeviceIDs returns the fleet's device IDs in configuration order.
+func (m *Manager) DeviceIDs() []string {
+	return append([]string(nil), m.order...)
+}
+
+// Device returns a stats snapshot of one device.
+func (m *Manager) Device(id string) (DeviceSnapshot, bool) {
+	md, ok := m.devs[id]
+	if !ok {
+		return DeviceSnapshot{}, false
+	}
+	return md.snapshot(), true
+}
+
+// Devices returns stats snapshots of every device in configuration
+// order.
+func (m *Manager) Devices() []DeviceSnapshot {
+	out := make([]DeviceSnapshot, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.devs[id].snapshot())
+	}
+	return out
+}
+
+// Metrics returns the fleet-wide aggregate: summed counters and latency
+// percentiles merged across every device's window.
+func (m *Manager) Metrics() Metrics {
+	var c Counters
+	var merged stats.Sample
+	for _, id := range m.order {
+		md := m.devs[id]
+		md.mu.Lock()
+		c = c.add(md.counters())
+		for _, v := range md.stats.lats {
+			merged.Add(v)
+		}
+		md.mu.Unlock()
+	}
+	return Metrics{
+		Devices:    len(m.order),
+		Shards:     m.cfg.Shards,
+		Counters:   c,
+		HLRate:     c.HLRate(),
+		HLAccuracy: c.HLAccuracy(),
+		NLAccuracy: c.NLAccuracy(),
+		Latency:    summarize(&merged),
+	}
+}

@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/stats"
+)
+
+// latencyWindow bounds the per-device latency reservoir so a
+// long-running fleet does not grow without bound: percentiles are
+// computed over the most recent latencyWindow observations.
+const latencyWindow = 1 << 15
+
+// deviceStats is the streaming per-device tally. It is written by the
+// owning shard and read by metrics snapshots, always under the
+// managedDevice mutex.
+type deviceStats struct {
+	requests, reads, writes, trims int64
+
+	predictedHL int64 // requests flagged HL before submission
+	observedHL  int64 // requests measured HL
+	hlHits      int64 // observed-HL requests that were predicted HL
+	nlHits      int64 // observed-NL requests that were predicted NL
+
+	bytes int64 // payload bytes moved
+
+	// lats is a ring of the last latencyWindow latencies (ns).
+	lats []float64
+	next int
+	full bool
+}
+
+func (d *deviceStats) record(req blockdev.Request, predHL bool, lat time.Duration, obsHL bool) {
+	d.requests++
+	switch req.Op {
+	case blockdev.Read:
+		d.reads++
+	case blockdev.Write:
+		d.writes++
+	case blockdev.Trim:
+		d.trims++
+	}
+	if predHL {
+		d.predictedHL++
+	}
+	if obsHL {
+		d.observedHL++
+		if predHL {
+			d.hlHits++
+		}
+	} else if !predHL {
+		d.nlHits++
+	}
+	d.bytes += int64(req.Bytes())
+
+	if d.lats == nil {
+		d.lats = make([]float64, 0, 1024)
+	}
+	if len(d.lats) < latencyWindow {
+		d.lats = append(d.lats, float64(lat))
+	} else {
+		d.lats[d.next] = float64(lat)
+		d.next++
+		if d.next == latencyWindow {
+			d.next = 0
+			d.full = true
+		}
+	}
+}
+
+// sample copies the latency window into a stats.Sample for
+// order-statistic queries.
+func (d *deviceStats) sample() *stats.Sample {
+	var s stats.Sample
+	for _, v := range d.lats {
+		s.Add(v)
+	}
+	return &s
+}
+
+// LatencySummary is a percentile digest over a latency window.
+type LatencySummary struct {
+	Samples int           `json:"samples"`
+	Mean    time.Duration `json:"mean_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	P999    time.Duration `json:"p999_ns"`
+	Max     time.Duration `json:"max_ns"`
+}
+
+func summarize(s *stats.Sample) LatencySummary {
+	return LatencySummary{
+		Samples: s.Len(),
+		Mean:    time.Duration(s.Mean()),
+		P50:     time.Duration(s.Percentile(50)),
+		P99:     time.Duration(s.Percentile(99)),
+		P999:    time.Duration(s.Percentile(99.9)),
+		Max:     time.Duration(s.Max()),
+	}
+}
+
+// Counters is the exact-count half of a stats snapshot (unlike the
+// latency percentiles, these cover every request ever processed).
+type Counters struct {
+	Requests    int64 `json:"requests"`
+	Reads       int64 `json:"reads"`
+	Writes      int64 `json:"writes"`
+	Trims       int64 `json:"trims"`
+	PredictedHL int64 `json:"predicted_hl"`
+	ObservedHL  int64 `json:"observed_hl"`
+	HLHits      int64 `json:"hl_hits"`
+	NLHits      int64 `json:"nl_hits"`
+	Bytes       int64 `json:"bytes"`
+}
+
+func (c Counters) add(o Counters) Counters {
+	c.Requests += o.Requests
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Trims += o.Trims
+	c.PredictedHL += o.PredictedHL
+	c.ObservedHL += o.ObservedHL
+	c.HLHits += o.HLHits
+	c.NLHits += o.NLHits
+	c.Bytes += o.Bytes
+	return c
+}
+
+// HLRate returns the observed high-latency fraction.
+func (c Counters) HLRate() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.ObservedHL) / float64(c.Requests)
+}
+
+// HLAccuracy returns the share of observed-HL requests that were
+// predicted HL (1 when none were observed, matching the predictor's own
+// convention).
+func (c Counters) HLAccuracy() float64 {
+	if c.ObservedHL == 0 {
+		return 1
+	}
+	return float64(c.HLHits) / float64(c.ObservedHL)
+}
+
+// NLAccuracy returns the share of observed-NL requests predicted NL.
+func (c Counters) NLAccuracy() float64 {
+	nl := c.Requests - c.ObservedHL
+	if nl == 0 {
+		return 1
+	}
+	return float64(c.NLHits) / float64(nl)
+}
+
+// DeviceSnapshot is a point-in-time view of one fleet member.
+type DeviceSnapshot struct {
+	ID     string `json:"id"`
+	Device string `json:"device"` // simulator label
+	Preset string `json:"preset,omitempty"`
+	Shard  int    `json:"shard"`
+
+	Counters   Counters       `json:"counters"`
+	HLRate     float64        `json:"hl_rate"`
+	HLAccuracy float64        `json:"hl_accuracy"`
+	NLAccuracy float64        `json:"nl_accuracy"`
+	Latency    LatencySummary `json:"latency"`
+
+	// PredictorEnabled mirrors the calibrator's harmless-disable state.
+	PredictorEnabled bool `json:"predictor_enabled"`
+	// Model is the predictor's volume-0 model state (buffer counter,
+	// EBT, GC interval counter).
+	Model core.ModelState `json:"model"`
+	// Clock is the device's virtual time.
+	Clock simclock.Time `json:"clock_ns"`
+}
+
+// Metrics is the fleet-wide aggregate view.
+type Metrics struct {
+	Devices    int            `json:"devices"`
+	Shards     int            `json:"shards"`
+	Counters   Counters       `json:"counters"`
+	HLRate     float64        `json:"hl_rate"`
+	HLAccuracy float64        `json:"hl_accuracy"`
+	NLAccuracy float64        `json:"nl_accuracy"`
+	Latency    LatencySummary `json:"latency"` // merged across devices
+}
+
+// snapshot captures the device's current stats under its mutex.
+func (md *managedDevice) snapshot() DeviceSnapshot {
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	s := md.stats.sample()
+	return DeviceSnapshot{
+		ID:               md.id,
+		Device:           md.name,
+		Preset:           md.spec.Preset,
+		Shard:            md.shard,
+		Counters:         md.counters(),
+		HLRate:           md.counters().HLRate(),
+		HLAccuracy:       md.counters().HLAccuracy(),
+		NLAccuracy:       md.counters().NLAccuracy(),
+		Latency:          summarize(s),
+		PredictorEnabled: md.enabled,
+		Model:            md.model,
+		Clock:            md.clock,
+	}
+}
+
+// counters converts the internal tally to the exported form. Callers
+// hold md.mu.
+func (md *managedDevice) counters() Counters {
+	d := &md.stats
+	return Counters{
+		Requests:    d.requests,
+		Reads:       d.reads,
+		Writes:      d.writes,
+		Trims:       d.trims,
+		PredictedHL: d.predictedHL,
+		ObservedHL:  d.observedHL,
+		HLHits:      d.hlHits,
+		NLHits:      d.nlHits,
+		Bytes:       d.bytes,
+	}
+}

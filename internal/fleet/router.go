@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"ssdcheck/internal/blockdev"
+)
+
+// Request is one fleet request: a block I/O addressed to a device by
+// ID.
+type Request struct {
+	DeviceID string      `json:"device"`
+	Op       blockdev.Op `json:"-"`
+	LBA      int64       `json:"lba"`
+	Sectors  int         `json:"sectors"`
+}
+
+// block converts to the device vocabulary; a zero length defaults to
+// one page. Negative lengths and out-of-range LBAs are rejected by
+// SubmitBatch before this runs.
+func (r Request) block() blockdev.Request {
+	if r.Sectors <= 0 {
+		r.Sectors = blockdev.SectorsPerPage
+	}
+	return blockdev.Request{Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+}
+
+// Submit routes one request to the shard owning the device, runs it
+// through predict → submit → observe, and returns the prediction plus
+// the observed outcome. It blocks until the request completes.
+func (m *Manager) Submit(deviceID string, op blockdev.Op, lba int64, sectors int) (Result, error) {
+	out, err := m.SubmitBatch([]Request{{DeviceID: deviceID, Op: op, LBA: lba, Sectors: sectors}})
+	if err != nil {
+		return Result{}, err
+	}
+	return out[0], nil
+}
+
+// SubmitBatch routes a batch of requests through the per-shard queues
+// and returns one result per request, in input order. Requests to the
+// same device are processed in their batch order; requests to devices
+// on different shards proceed in parallel. The whole batch is validated
+// before any work is dispatched, so an unknown device ID fails the call
+// without side effects.
+func (m *Manager) SubmitBatch(reqs []Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Group per shard, preserving input order within each group.
+	perShard := make(map[*shard][]batchItem)
+	for i, r := range reqs {
+		md, ok := m.devs[r.DeviceID]
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown device %q", r.DeviceID)
+		}
+		if cap := md.dev.CapacitySectors(); r.LBA < 0 || r.LBA >= cap {
+			return nil, fmt.Errorf("fleet: device %q: LBA %d outside [0, %d)", r.DeviceID, r.LBA, cap)
+		}
+		if r.Sectors < 0 {
+			return nil, fmt.Errorf("fleet: device %q: negative request length %d", r.DeviceID, r.Sectors)
+		}
+		sh := m.shards[md.shard]
+		perShard[sh] = append(perShard[sh], batchItem{md: md, req: r.block(), idx: i})
+	}
+
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(perShard))
+
+	// The read lock orders every channel send before Close's
+	// close(sh.reqs); shards keep draining until the channels close, so
+	// a send accepted here always completes.
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return nil, fmt.Errorf("fleet: manager is closed")
+	}
+	for sh, items := range perShard {
+		sh.reqs <- shardBatch{items: items, out: out, wg: &wg}
+	}
+	m.mu.RUnlock()
+
+	wg.Wait()
+	return out, nil
+}

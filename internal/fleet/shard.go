@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
+	"ssdcheck/internal/simclock"
+	"ssdcheck/internal/trace"
+)
+
+// managedDevice is one fleet member: a device, its predictor, and its
+// private virtual clock. All fields above mu are touched only by the
+// owning shard's goroutine (plus initialization); the stats block below
+// mu is shared with metrics readers.
+type managedDevice struct {
+	id    string
+	name  string // simulator label ("SSD A", ...)
+	spec  DeviceSpec
+	shard int
+
+	dev blockdev.Device
+	pr  *core.Predictor
+	now simclock.Time // per-device virtual clock
+
+	mu    sync.Mutex
+	stats deviceStats
+	// Cached predictor state, refreshed by the shard after every
+	// request so readers never touch the (non-thread-safe) predictor.
+	enabled bool
+	model   core.ModelState
+	clock   simclock.Time
+}
+
+// init preconditions and diagnoses the device, then builds its
+// predictor. It runs on the owning shard's goroutine during startup so
+// fleets diagnose in parallel, one shard at a time per device.
+func (md *managedDevice) init(cfg Config) error {
+	if tagged, ok := md.dev.(blockdev.TaggedDevice); ok && cfg.PreconditionFactor > 0 {
+		md.now = trace.Precondition(tagged, md.spec.Seed, cfg.PreconditionFactor, md.now)
+	}
+	feats := md.spec.Features
+	if feats == nil {
+		opts := cfg.Diagnosis
+		opts.Seed = md.spec.Seed ^ 0xd1a6 // device-private probe stream
+		var err error
+		feats, md.now, err = extract.Run(md.dev, md.now, opts)
+		if err != nil {
+			return err
+		}
+	}
+	md.pr = core.NewPredictor(feats, md.spec.Params)
+	md.publish()
+	return nil
+}
+
+// process runs one request through the predict → submit → observe
+// pipeline on the device's virtual clock and records it in the stats.
+func (md *managedDevice) process(req blockdev.Request) Result {
+	pred := md.pr.Predict(req, md.now)
+	done := md.dev.Submit(req, md.now)
+	md.pr.Observe(req, md.now, done)
+	lat := done.Sub(md.now)
+	res := Result{
+		DeviceID:    md.id,
+		HL:          pred.HL,
+		EET:         pred.EET,
+		Latency:     lat,
+		ObservedHL:  md.pr.Classify(req.Op, lat),
+		CompletedAt: done,
+	}
+	md.now = done
+
+	md.mu.Lock()
+	md.stats.record(req, pred.HL, lat, res.ObservedHL)
+	md.publishLocked()
+	md.mu.Unlock()
+	return res
+}
+
+func (md *managedDevice) publish() {
+	md.mu.Lock()
+	md.publishLocked()
+	md.mu.Unlock()
+}
+
+func (md *managedDevice) publishLocked() {
+	md.enabled = md.pr.Enabled()
+	md.model = md.pr.State(0)
+	md.clock = md.now
+}
+
+// Result is the fleet's answer for one submitted request.
+type Result struct {
+	// DeviceID names the device that served the request.
+	DeviceID string `json:"device"`
+	// HL is the prediction made before submission.
+	HL bool `json:"hl"`
+	// EET is the predicted latency (estimated end time).
+	EET time.Duration `json:"eet_ns"`
+	// Latency is the observed service time on the device's virtual
+	// clock.
+	Latency time.Duration `json:"latency_ns"`
+	// ObservedHL classifies the observed latency against the device's
+	// extracted NL/HL threshold.
+	ObservedHL bool `json:"observed_hl"`
+	// CompletedAt is the device's virtual clock after the request.
+	CompletedAt simclock.Time `json:"completed_at_ns"`
+}
+
+// batchItem is one request routed to a shard, carrying its slot in the
+// caller's result slice.
+type batchItem struct {
+	md  *managedDevice
+	req blockdev.Request
+	idx int
+}
+
+// shardBatch is the unit of work a shard receives: a slice of items to
+// process in order, writing each result into its own slot of out. Slots
+// are disjoint across shards, and wg publishes the writes to the
+// caller.
+type shardBatch struct {
+	items []batchItem
+	out   []Result
+	wg    *sync.WaitGroup
+}
+
+// shard owns a disjoint subset of the fleet's devices and processes
+// their requests sequentially on one goroutine.
+type shard struct {
+	id   int
+	reqs chan shardBatch
+	devs []*managedDevice
+}
+
+func (s *shard) run(done *sync.WaitGroup) {
+	defer done.Done()
+	for b := range s.reqs {
+		for _, it := range b.items {
+			b.out[it.idx] = it.md.process(it.req)
+		}
+		b.wg.Done()
+	}
+}

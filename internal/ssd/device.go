@@ -94,6 +94,11 @@ func (c Config) Validate() error {
 
 // Device is a simulated SSD. It implements blockdev.Device (the
 // black-box surface) and blockdev.TaggedDevice (the evaluation surface).
+//
+// A Device is not safe for concurrent use; submit requests from one
+// goroutine in non-decreasing virtual-time order. See internal/fleet
+// for the concurrent multi-device entry point, which assigns each
+// device to exactly one worker goroutine.
 type Device struct {
 	cfg      Config
 	vols     []*ftl.Volume
@@ -109,7 +114,8 @@ var (
 	_ blockdev.TaggedDevice = (*Device)(nil)
 )
 
-// New builds a device from cfg.
+// New builds a device from cfg. The returned Device is not safe for
+// concurrent use; see the Device type documentation and internal/fleet.
 func New(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ import (
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/fleet"
 	"ssdcheck/internal/host"
 	"ssdcheck/internal/lvm"
 	"ssdcheck/internal/nvm"
@@ -215,6 +216,41 @@ var Drive = host.Drive
 
 // DriveClosedLoop keeps a fixed queue depth outstanding.
 var DriveClosedLoop = host.DriveClosedLoop
+
+// Fleet serving (beyond the paper): many devices, many predictors, one
+// concurrent manager. See internal/fleet for the concurrency model and
+// cmd/ssdcheckd for the HTTP daemon built on top of it.
+type (
+	// Fleet is the concurrent multi-device prediction service: N
+	// device+predictor pairs sharded across a bounded worker pool.
+	Fleet = fleet.Manager
+	// FleetConfig parameterizes a fleet.
+	FleetConfig = fleet.Config
+	// FleetDeviceSpec describes one fleet member.
+	FleetDeviceSpec = fleet.DeviceSpec
+	// FleetRequest is one request addressed to a fleet device by ID.
+	FleetRequest = fleet.Request
+	// FleetResult is the fleet's per-request answer: the prediction
+	// plus the observed outcome.
+	FleetResult = fleet.Result
+	// FleetDeviceSnapshot is a point-in-time per-device stats view.
+	FleetDeviceSnapshot = fleet.DeviceSnapshot
+	// FleetMetrics is the fleet-wide aggregate stats view.
+	FleetMetrics = fleet.Metrics
+)
+
+// NewFleet builds and starts a fleet manager: every device is
+// constructed, preconditioned and diagnosed (shard-parallel), and the
+// worker goroutines begin serving. Close it when done.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// FleetPresetDevices builds n device specs cycling through preset names,
+// with stable IDs and derived per-device seeds.
+var FleetPresetDevices = fleet.PresetDevices
+
+// FastDiagnosis returns reduced-strength diagnosis options for quick
+// fleet startup in examples, tests and benchmarks.
+var FastDiagnosis = fleet.FastDiagnosis
 
 // Hybrid PAS with an NVM tier (paper §IV-B).
 type (
