@@ -5,16 +5,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/submit        {"requests":[{"device":"ssd-00-A","op":"write","lba":4096,"sectors":8}]}
-//	GET  /v1/devices       per-device stats snapshots
-//	GET  /v1/devices/{id}  one device's stats and model state
-//	GET  /v1/metrics       fleet-wide aggregate
-//	GET  /healthz          liveness
+//	POST /v1/submit               {"requests":[{"device":"ssd-00-A","op":"write","lba":4096,"sectors":8}]}
+//	GET  /v1/devices              per-device stats snapshots
+//	GET  /v1/devices/{id}         one device's stats and model state
+//	GET  /v1/devices/{id}/health  one device's health state and transition log
+//	GET  /v1/metrics              fleet-wide aggregate
+//	GET  /healthz                 liveness, degraded-aware
+//
+// Submit failures are per-request: a quarantined or failed device marks
+// only its own entries' "error" field, and the rest of the batch
+// proceeds. /healthz reports "degraded" (200) while some devices are
+// quarantined and "unhealthy" (503) when all are.
 //
 // Usage:
 //
 //	ssdcheckd -addr :8080 -devices 16 -presets A,B,C,D,E,F,G,H -shards 4
 //	ssdcheckd -devices 4 -features ./diagnoses   # preload saved diagnoses
+//	ssdcheckd -devices 4 -probe-interval 1s      # faster quarantine re-probing
 //
 // With -features DIR, a file DIR/<deviceID>.json saved via the
 // diagnosis persistence format (extract.Features.Save) is loaded at
@@ -48,6 +55,7 @@ func main() {
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	featuresDir := flag.String("features", "", "directory of persisted diagnoses (<deviceID>.json)")
 	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second, "background recovery-probe period for quarantined devices (0 = rejection-triggered only)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ssdcheckd: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -55,13 +63,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag); err != nil {
+	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheckd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool) error {
+func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration) error {
 	if devices <= 0 {
 		return fmt.Errorf("need at least one device (-devices)")
 	}
@@ -77,6 +85,7 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 		Shards:     shards,
 		QueueDepth: queue,
 	}
+	cfg.Health.ProbeInterval = probeInterval
 	if fastDiag {
 		cfg.Diagnosis = fleet.FastDiagnosis()
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -61,10 +62,28 @@ func newServer(m *fleet.Manager) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"devices": len(m.DeviceIDs()),
-			"shards":  m.Shards(),
+		devs := m.Devices()
+		quarantined := 0
+		for _, d := range devs {
+			if d.Health == fleet.Quarantined {
+				quarantined++
+			}
+		}
+		// Degraded-aware liveness: a partially quarantined fleet is
+		// still serving (200, but flagged for operators); a fully
+		// quarantined one is not (503, so load balancers drain us).
+		status, code := "ok", http.StatusOK
+		switch {
+		case len(devs) > 0 && quarantined == len(devs):
+			status, code = "unhealthy", http.StatusServiceUnavailable
+		case quarantined > 0:
+			status = "degraded"
+		}
+		writeJSON(w, code, map[string]any{
+			"status":            status,
+			"devices":           len(devs),
+			"unhealthy_devices": quarantined,
+			"shards":            m.Shards(),
 		})
 	})
 
@@ -89,7 +108,15 @@ func newServer(m *fleet.Manager) http.Handler {
 		}
 		results, err := m.SubmitBatch(batch)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			// Batch-level errors mean the manager itself can't take
+			// work (shutting down); per-request failures ride inside
+			// the 200 results with their "error" field set, so one bad
+			// device never fails the whole batch.
+			code := http.StatusBadRequest
+			if errors.Is(err, fleet.ErrManagerClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, submitResponse{Results: results})
@@ -107,6 +134,16 @@ func newServer(m *fleet.Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /v1/devices/{id}/health", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		hr, ok := m.DeviceHealth(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, hr)
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/faults"
 	"ssdcheck/internal/fleet"
 	"ssdcheck/internal/ssd"
 	"ssdcheck/internal/trace"
@@ -146,34 +147,138 @@ func TestServerErrors(t *testing.T) {
 	srv := httptest.NewServer(newServer(m))
 	defer srv.Close()
 
-	post := func(body string) int {
+	post := func(body string) (int, submitResponse) {
 		resp, err := srv.Client().Post(srv.URL+"/v1/submit", "application/json", bytes.NewReader([]byte(body)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		return resp.StatusCode
+		defer resp.Body.Close()
+		var sub submitResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, sub
 	}
-	if code := post(`{`); code != http.StatusBadRequest {
+	// Body-level problems are HTTP errors: the batch never formed.
+	if code, _ := post(`{`); code != http.StatusBadRequest {
 		t.Errorf("malformed JSON: %d, want 400", code)
 	}
-	if code := post(`{"requests":[]}`); code != http.StatusBadRequest {
+	if code, _ := post(`{"requests":[]}`); code != http.StatusBadRequest {
 		t.Errorf("empty batch: %d, want 400", code)
 	}
-	if code := post(`{"requests":[{"device":"solo","op":"erase","lba":0,"sectors":8}]}`); code != http.StatusBadRequest {
+	if code, _ := post(`{"requests":[{"device":"solo","op":"erase","lba":0,"sectors":8}]}`); code != http.StatusBadRequest {
 		t.Errorf("bad op: %d, want 400", code)
 	}
-	if code := post(`{"requests":[{"device":"ghost","op":"read","lba":0,"sectors":8}]}`); code != http.StatusBadRequest {
-		t.Errorf("unknown device: %d, want 400", code)
+	// Addressing problems are per-request: the batch succeeds (200) and
+	// the failing entries carry their error, so one bad request never
+	// sinks its batch-mates.
+	perRequest := func(name, body string) {
+		code, sub := post(body)
+		if code != http.StatusOK {
+			t.Errorf("%s: %d, want 200 with per-request error", name, code)
+			return
+		}
+		if len(sub.Results) != 2 {
+			t.Errorf("%s: %d results, want 2", name, len(sub.Results))
+			return
+		}
+		if sub.Results[0].Error == "" {
+			t.Errorf("%s: first entry has no error: %+v", name, sub.Results[0])
+		}
+		if sub.Results[1].Error != "" || sub.Results[1].Latency <= 0 {
+			t.Errorf("%s: healthy batch-mate not served: %+v", name, sub.Results[1])
+		}
 	}
-	if code := post(`{"requests":[{"device":"solo","op":"read","lba":-4096,"sectors":8}]}`); code != http.StatusBadRequest {
-		t.Errorf("negative LBA: %d, want 400", code)
-	}
-	if code := post(`{"requests":[{"device":"solo","op":"read","lba":99999999999,"sectors":8}]}`); code != http.StatusBadRequest {
-		t.Errorf("out-of-range LBA: %d, want 400", code)
-	}
+	const ok = `,{"device":"solo","op":"read","lba":0,"sectors":8}]}`
+	perRequest("unknown device", `{"requests":[{"device":"ghost","op":"read","lba":0,"sectors":8}`+ok)
+	perRequest("negative LBA", `{"requests":[{"device":"solo","op":"read","lba":-4096,"sectors":8}`+ok)
+	perRequest("out-of-range LBA", `{"requests":[{"device":"solo","op":"read","lba":99999999999,"sectors":8}`+ok)
+
 	if resp := getJSON(t, srv, "/v1/devices/ghost", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown device snapshot: %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv, "/v1/devices/ghost/health", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown device health: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDegraded fail-stops one of two devices and watches the
+// daemon degrade gracefully: per-request errors for the dead device,
+// 200 "degraded" liveness while its partner still serves, and the
+// health endpoint exposing the transition log.
+func TestServerDegraded(t *testing.T) {
+	devs := []fleet.DeviceSpec{
+		{ID: "dead", Preset: "A", Seed: 11, Faults: &faults.Config{Seed: 1, Schedules: []faults.Schedule{
+			{Kind: faults.FailStop, At: 1},
+		}}},
+		{ID: "alive", Preset: "B", Seed: 12},
+	}
+	m, err := fleet.New(fleet.Config{
+		Devices:            devs,
+		Shards:             1,
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+		Health:             fleet.HealthPolicy{QuarantineAfterErrors: 1, ProbeAfterRejections: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(newServer(m))
+	defer srv.Close()
+
+	var body submitBody
+	for i := 0; i < 4; i++ {
+		for _, id := range []string{"dead", "alive"} {
+			body.Requests = append(body.Requests, submitRequest{
+				Device: id, Op: "read", LBA: int64(i) * 4096, Sectors: 8,
+			})
+		}
+	}
+	buf, _ := json.Marshal(body)
+	resp, err := srv.Client().Post(srv.URL+"/v1/submit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/submit with a failing device: %d, want 200", resp.StatusCode)
+	}
+	for i, r := range sub.Results {
+		switch r.DeviceID {
+		case "dead":
+			if r.Error == "" {
+				t.Errorf("result %d: dead device served a request: %+v", i, r)
+			}
+		case "alive":
+			if r.Error != "" || r.Latency <= 0 {
+				t.Errorf("result %d: healthy device not served: %+v", i, r)
+			}
+		}
+	}
+
+	// Partially quarantined: 200 but "degraded".
+	var health map[string]any
+	if resp := getJSON(t, srv, "/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while degraded: %d, want 200", resp.StatusCode)
+	}
+	if health["status"] != "degraded" || health["unhealthy_devices"].(float64) != 1 {
+		t.Fatalf("/healthz = %v, want degraded with 1 unhealthy device", health)
+	}
+
+	// The health endpoint shows the quarantine transition.
+	var hr fleet.HealthReport
+	if resp := getJSON(t, srv, "/v1/devices/dead/health", &hr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/devices/dead/health: %d", resp.StatusCode)
+	}
+	if hr.Health != fleet.Quarantined || len(hr.Transitions) == 0 {
+		t.Fatalf("dead device health = %+v, want quarantined with transitions", hr)
 	}
 }
 

@@ -10,6 +10,7 @@
 package blockdev
 
 import (
+	"errors"
 	"fmt"
 
 	"ssdcheck/internal/simclock"
@@ -60,6 +61,20 @@ type Request struct {
 // Bytes returns the request payload size in bytes.
 func (r Request) Bytes() int { return r.Sectors * SectorSize }
 
+// Error taxonomy. Real black-box SSDs do not only go slow — they also
+// fail requests, transiently (media retries, link resets) or for good
+// (fail-stop). Every error a device surfaces wraps one of these two
+// sentinels, so callers dispatch on errors.Is rather than string
+// matching: ErrTransient means the same request may succeed if retried;
+// ErrDeviceFailed means the device is gone and retrying is pointless.
+var (
+	// ErrTransient marks a request failure that a bounded retry may
+	// clear.
+	ErrTransient = errors.New("transient I/O error")
+	// ErrDeviceFailed marks a permanent, fail-stop device failure.
+	ErrDeviceFailed = errors.New("device failed")
+)
+
 // Device is the black-box view of a block device: the only operations a
 // host (and therefore SSDcheck) has available.
 //
@@ -77,6 +92,34 @@ type Device interface {
 
 	// CapacitySectors returns the addressable capacity in sectors.
 	CapacitySectors() int64
+}
+
+// FallibleDevice is a Device that can refuse a request. The simulated
+// SSDs never fail, so the base Device interface keeps its infallible
+// Submit; fault-injecting wrappers (internal/faults) and future real
+// transports implement this extension, and resilient callers reach it
+// through the package-level SubmitChecked helper.
+//
+// The concurrency contract is Device's: one goroutine, non-decreasing
+// submit times.
+type FallibleDevice interface {
+	Device
+
+	// SubmitChecked behaves like Submit but may fail the request with
+	// an error wrapping ErrTransient or ErrDeviceFailed. On error the
+	// returned time is meaningless and the request had no effect.
+	SubmitChecked(req Request, at simclock.Time) (simclock.Time, error)
+}
+
+// SubmitChecked submits through the checked path when the device
+// supports it and falls back to the infallible Submit otherwise. Layers
+// that must survive failing devices (internal/fleet, the diagnosis
+// probes) call this instead of Device.Submit.
+func SubmitChecked(dev Device, req Request, at simclock.Time) (simclock.Time, error) {
+	if f, ok := dev.(FallibleDevice); ok {
+		return f.SubmitChecked(req, at)
+	}
+	return dev.Submit(req, at), nil
 }
 
 // Cause labels why a request was slow. It is ground truth emitted by the

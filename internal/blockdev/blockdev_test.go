@@ -1,8 +1,12 @@
 package blockdev
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
+
+	"ssdcheck/internal/simclock"
 )
 
 func TestOpString(t *testing.T) {
@@ -38,6 +42,45 @@ func TestCompletionLatency(t *testing.T) {
 	c := Completion{Submit: 100, Done: 350}
 	if c.Latency() != 250 {
 		t.Fatalf("Latency()=%d", c.Latency())
+	}
+}
+
+// infallible is a minimal Device with a fixed service time.
+type infallible struct{}
+
+func (infallible) Submit(req Request, at simclock.Time) simclock.Time { return at + 100 }
+func (infallible) CapacitySectors() int64                             { return 1 << 20 }
+
+// fallible additionally fails every request with a wrapped transient.
+type fallible struct{ infallible }
+
+func (fallible) SubmitChecked(req Request, at simclock.Time) (simclock.Time, error) {
+	return 0, fmt.Errorf("request %d: %w", req.LBA, ErrTransient)
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	wrapped := fmt.Errorf("dev sda: %w", ErrTransient)
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Error("wrapped transient not errors.Is-compatible")
+	}
+	if errors.Is(wrapped, ErrDeviceFailed) {
+		t.Error("transient matches ErrDeviceFailed")
+	}
+	failed := fmt.Errorf("dev sdb: %w", ErrDeviceFailed)
+	if !errors.Is(failed, ErrDeviceFailed) {
+		t.Error("wrapped fail-stop not errors.Is-compatible")
+	}
+}
+
+func TestSubmitChecked(t *testing.T) {
+	req := Request{Op: Read, LBA: 8, Sectors: 8}
+	done, err := SubmitChecked(infallible{}, req, 50)
+	if err != nil || done != 150 {
+		t.Errorf("infallible fallback: done=%d err=%v", done, err)
+	}
+	_, err = SubmitChecked(fallible{}, req, 50)
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("fallible path lost the typed error: %v", err)
 	}
 }
 

@@ -12,7 +12,10 @@ type AccuracyReport struct {
 	NLCount, NLCorrect int
 	HLCount, HLCorrect int
 	PredictedHL        int
-	End                simclock.Time
+	// Errors counts requests the device failed; they score nothing
+	// (there is no latency to classify) and do not advance the clock.
+	Errors int
+	End    simclock.Time
 }
 
 // NLAccuracy returns the normal-latency prediction accuracy in [0,1].
@@ -39,7 +42,11 @@ func Evaluate(dev blockdev.Device, pr *Predictor, reqs []blockdev.Request, start
 	now := start
 	for _, req := range reqs {
 		pred := pr.Predict(req, now)
-		done := dev.Submit(req, now)
+		done, err := blockdev.SubmitChecked(dev, req, now)
+		if err != nil {
+			rep.Errors++
+			continue
+		}
 		pr.Observe(req, now, done)
 
 		hl := pr.Classify(req.Op, done.Sub(now))

@@ -191,6 +191,7 @@ type Session struct {
 	Dev blockdev.Device
 	Now simclock.Time
 	rng *simclock.RNG
+	err error // first device error a probe hit; sticky
 }
 
 // NewSession starts a diagnosis session on dev at virtual time now.
@@ -198,10 +199,26 @@ func NewSession(dev blockdev.Device, now simclock.Time, seed uint64) *Session {
 	return &Session{Dev: dev, Now: now, rng: simclock.NewRNG(seed)}
 }
 
+// Err returns the first device error a probe hit, or nil. A diagnosis
+// cannot be trusted once any probe fails (the scans assume every
+// latency is a real measurement), so Run turns a sticky error into a
+// failed extraction.
+func (s *Session) Err() error { return s.err }
+
 // submit issues a request at the session cursor, advances the cursor to
-// its completion and returns the latency.
+// its completion and returns the latency. A device error latches into
+// Err and reads as a timeout-scale latency so the remaining probes stay
+// well-defined while the run winds down.
 func (s *Session) submit(op blockdev.Op, lba int64, sectors int) time.Duration {
-	done := s.Dev.Submit(blockdev.Request{Op: op, LBA: lba, Sectors: sectors}, s.Now)
+	done, err := blockdev.SubmitChecked(s.Dev, blockdev.Request{Op: op, LBA: lba, Sectors: sectors}, s.Now)
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("extract: %v probe at lba %d: %w", op, lba, err)
+		}
+		lat := time.Second
+		s.Now = s.Now.Add(lat)
+		return lat
+	}
 	lat := done.Sub(s.Now)
 	s.Now = done
 	return lat
@@ -258,6 +275,11 @@ func Run(dev blockdev.Device, start simclock.Time, opts Opts) (*Features, simclo
 		f.SLCCachePages, f.SLCFoldOverhead = DetectSLCCache(s, o, f.VolumeBits, f.BufferBytes, f.WriteThreshold)
 	}
 
+	// A device error anywhere in the pipeline invalidates every scan
+	// that ran after it; surface the failure rather than a bogus model.
+	if err := s.Err(); err != nil {
+		return nil, s.Now, err
+	}
 	if f.BufferKind == BufferUnknown && f.BufferBytes == 0 {
 		return f, s.Now, fmt.Errorf("extract: write buffer not identifiable; device outside model coverage")
 	}

@@ -31,6 +31,7 @@ import (
 
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/faults"
 	"ssdcheck/internal/ssd"
 )
 
@@ -65,6 +66,158 @@ type DeviceSpec struct {
 	// assignment. Pinning matters only for load placement — per-device
 	// results are identical either way.
 	Shard int
+
+	// Faults, when non-nil, wraps the device in a fault injector with
+	// this configuration (see internal/faults). The injector is armed
+	// only after preconditioning and diagnosis finish, so schedules
+	// count serving-traffic requests.
+	Faults *faults.Config
+}
+
+// RetryPolicy bounds how the fleet retries requests that fail with a
+// transient error. Backoff runs on the device's virtual clock with
+// deterministic seeded jitter, so retry behavior is exactly
+// reproducible.
+type RetryPolicy struct {
+	// MaxRetries is the retry budget per request beyond the first
+	// attempt. 0 defaults to 3; negative disables retries.
+	MaxRetries int
+
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it. 0 defaults to 200µs (virtual).
+	Backoff time.Duration
+
+	// MaxBackoff caps the doubled delays. 0 defaults to 5ms.
+	MaxBackoff time.Duration
+
+	// Jitter is the fraction of each delay randomized away (full
+	// jitter over [1-Jitter, 1]·delay). 0 defaults to 0.5; negative
+	// disables jitter.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 200 * time.Microsecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 5 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+func (p RetryPolicy) validate() error {
+	if p.Backoff < 0 || p.MaxBackoff < 0 {
+		return fmt.Errorf("fleet: negative retry backoff")
+	}
+	if p.Jitter > 1 {
+		return fmt.Errorf("fleet: retry jitter %v > 1", p.Jitter)
+	}
+	return nil
+}
+
+// HealthPolicy tunes the per-device health state machine and the
+// recovery probe (see Health for the state diagram). All streak
+// thresholds count consecutive requests; the timeout is a per-request
+// deadline on the virtual clock.
+type HealthPolicy struct {
+	// RequestTimeout is the per-request latency deadline: completions
+	// at or above it count as latency anomalies and are excluded from
+	// model observation. 0 defaults to 250ms (virtual).
+	RequestTimeout time.Duration
+
+	// DegradeAfterErrors moves healthy → degraded after this many
+	// consecutive exhausted-retry errors. 0 defaults to 3.
+	DegradeAfterErrors int
+
+	// QuarantineAfterErrors moves degraded → quarantined after this
+	// many consecutive errors. 0 defaults to 8.
+	QuarantineAfterErrors int
+
+	// DegradeAfterTimeouts moves healthy → degraded after this many
+	// consecutive timeout-class completions. 0 defaults to 8.
+	DegradeAfterTimeouts int
+
+	// QuarantineAfterTimeouts moves degraded → quarantined after this
+	// many consecutive timeouts. 0 defaults to 32.
+	QuarantineAfterTimeouts int
+
+	// RecoverAfterOK moves degraded → healthy after this many
+	// consecutive clean completions. 0 defaults to 64.
+	RecoverAfterOK int
+
+	// ProbeAfterRejections triggers a recovery probe after a
+	// quarantined device has bounced this many requests — a
+	// deterministic trigger phrased in the device's own request
+	// stream. 0 defaults to 128; negative disables the
+	// rejection-count trigger.
+	ProbeAfterRejections int
+
+	// ProbeRequests is the length of the recovery probe pass. 0
+	// defaults to 32.
+	ProbeRequests int
+
+	// ProbeInterval, when > 0, additionally probes quarantined
+	// devices from a background wall-clock ticker (the daemon sets
+	// this). It is off by default: wall-clock probing trades the
+	// fleet's determinism for liveness under idle traffic.
+	ProbeInterval time.Duration
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.RequestTimeout == 0 {
+		p.RequestTimeout = 250 * time.Millisecond
+	}
+	if p.DegradeAfterErrors == 0 {
+		p.DegradeAfterErrors = 3
+	}
+	if p.QuarantineAfterErrors == 0 {
+		p.QuarantineAfterErrors = 8
+	}
+	if p.DegradeAfterTimeouts == 0 {
+		p.DegradeAfterTimeouts = 8
+	}
+	if p.QuarantineAfterTimeouts == 0 {
+		p.QuarantineAfterTimeouts = 32
+	}
+	if p.RecoverAfterOK == 0 {
+		p.RecoverAfterOK = 64
+	}
+	if p.ProbeAfterRejections == 0 {
+		p.ProbeAfterRejections = 128
+	}
+	if p.ProbeRequests == 0 {
+		p.ProbeRequests = 32
+	}
+	return p
+}
+
+func (p HealthPolicy) validate() error {
+	if p.RequestTimeout < 0 {
+		return fmt.Errorf("fleet: negative request timeout")
+	}
+	for _, v := range []int{p.DegradeAfterErrors, p.QuarantineAfterErrors,
+		p.DegradeAfterTimeouts, p.QuarantineAfterTimeouts, p.RecoverAfterOK, p.ProbeRequests} {
+		if v < 0 {
+			return fmt.Errorf("fleet: negative health threshold")
+		}
+	}
+	if p.ProbeInterval < 0 {
+		return fmt.Errorf("fleet: negative probe interval")
+	}
+	return nil
 }
 
 // Config parameterizes a fleet manager.
@@ -89,9 +242,19 @@ type Config struct {
 	// Diagnosis tunes the startup probes for devices without preloaded
 	// Features. The zero value uses the full-strength defaults.
 	Diagnosis extract.Opts
+
+	// Retry bounds transient-error retries. The zero value takes the
+	// standard defaults.
+	Retry RetryPolicy
+
+	// Health tunes the per-device health state machine and recovery
+	// probes. The zero value takes the standard defaults.
+	Health HealthPolicy
 }
 
 func (c Config) withDefaults() Config {
+	c.Retry = c.Retry.withDefaults()
+	c.Health = c.Health.withDefaults()
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -137,8 +300,16 @@ func (c Config) Validate() error {
 				return fmt.Errorf("fleet: device %q: %w", d.ID, err)
 			}
 		}
+		if d.Faults != nil {
+			if err := d.Faults.Validate(); err != nil {
+				return fmt.Errorf("fleet: device %q: %w", d.ID, err)
+			}
+		}
 	}
-	return nil
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
+	return c.Health.validate()
 }
 
 // PresetDevices builds n device specs cycling through the given preset

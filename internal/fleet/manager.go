@@ -3,7 +3,9 @@ package fleet
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"ssdcheck/internal/faults"
 	"ssdcheck/internal/ssd"
 	"ssdcheck/internal/stats"
 )
@@ -11,7 +13,8 @@ import (
 // Manager owns a fleet of device+predictor pairs sharded across a
 // bounded worker pool. Construct one with New; submit work with Submit
 // and SubmitBatch; read per-device and fleet-wide stats at any time
-// with Device, Devices, and Metrics; stop it with Close.
+// with Device, Devices, Metrics, DeviceHealth and HealthLog; stop it
+// with Close.
 //
 // Manager is safe for concurrent use. The devices and predictors it
 // owns are not — that is the point: each lives on exactly one shard
@@ -25,21 +28,32 @@ type Manager struct {
 
 	runWG sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed vs. in-flight channel sends
-	closed bool
+	// Background recovery prober (Health.ProbeInterval > 0 only).
+	proberWG   sync.WaitGroup
+	stopProber chan struct{}
+
+	closeOnce sync.Once
+	mu        sync.RWMutex // guards closed vs. in-flight channel sends
+	closed    bool
 }
 
-// New builds the fleet: it constructs every device, preconditions and
+// New builds the fleet: it constructs every device (wrapping it in a
+// fault injector when the spec asks for one), preconditions and
 // diagnoses the ones without preloaded features (in parallel, one
-// worker per shard), constructs the predictors, and starts the shard
-// goroutines. On error everything already started is torn down.
+// worker per shard), constructs the predictors, arms the injectors,
+// and starts the shard goroutines plus the background recovery prober
+// if configured. On error everything already started is torn down.
 func New(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 
-	m := &Manager{cfg: cfg, devs: make(map[string]*managedDevice, len(cfg.Devices))}
+	m := &Manager{
+		cfg:        cfg,
+		devs:       make(map[string]*managedDevice, len(cfg.Devices)),
+		stopProber: make(chan struct{}),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		m.shards = append(m.shards, &shard{id: i, reqs: make(chan shardBatch, cfg.QueueDepth)})
 	}
@@ -66,6 +80,16 @@ func New(cfg Config) (*Manager, error) {
 			auto++
 		}
 		md := &managedDevice{id: spec.ID, name: dev.Name(), spec: spec, shard: sh, dev: dev}
+		if spec.Faults != nil {
+			inj, err := faults.New(dev, *spec.Faults)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: device %q: %w", spec.ID, err)
+			}
+			inj.SetArmed(false) // setup traffic stays fault-free
+			md.inj = inj
+			md.dev = inj
+			md.fallible = inj
+		}
 		m.devs[spec.ID] = md
 		m.order = append(m.order, spec.ID)
 		m.shards[sh].devs = append(m.shards[sh].devs, md)
@@ -95,26 +119,80 @@ func New(cfg Config) (*Manager, error) {
 		}
 	}
 
+	// Arm the injectors now that setup traffic is done: fault
+	// schedules count serving requests. The goroutine-start edges
+	// below publish these writes to the shards.
+	for _, id := range m.order {
+		if md := m.devs[id]; md.inj != nil {
+			md.inj.SetArmed(true)
+		}
+	}
+
 	m.runWG.Add(cfg.Shards)
 	for _, sh := range m.shards {
-		go sh.run(&m.runWG)
+		go sh.run(&m.runWG, cfg)
+	}
+	if cfg.Health.ProbeInterval > 0 {
+		m.proberWG.Add(1)
+		go m.probeLoop(cfg.Health.ProbeInterval)
 	}
 	return m, nil
 }
 
-// Close stops accepting new work, lets every shard drain its queue, and
-// waits for the shard goroutines to exit. It is idempotent.
-func (m *Manager) Close() {
-	m.mu.Lock()
+// probeLoop periodically sweeps quarantined devices with recovery
+// probes, so an idle fleet (no traffic to trigger the deterministic
+// rejection-count probe) still heals. It exits when Close begins.
+func (m *Manager) probeLoop(interval time.Duration) {
+	defer m.proberWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopProber:
+			return
+		case <-t.C:
+			m.probeQuarantined()
+		}
+	}
+}
+
+// probeQuarantined asks every shard to recovery-probe its quarantined
+// devices and waits for the sweep to finish.
+func (m *Manager) probeQuarantined() {
+	var wg sync.WaitGroup
+
+	m.mu.RLock()
 	if m.closed {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return
 	}
-	m.closed = true
+	wg.Add(len(m.shards))
 	for _, sh := range m.shards {
-		close(sh.reqs)
+		sh.reqs <- shardBatch{probe: true, wg: &wg}
 	}
-	m.mu.Unlock()
+	m.mu.RUnlock()
+
+	wg.Wait()
+}
+
+// Close stops the recovery prober, stops accepting new work, lets
+// every shard drain its queue, and waits for the shard goroutines to
+// exit. It is idempotent and safe for concurrent use: every caller —
+// first or not — returns only after the fleet has fully drained.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		// The prober must be gone before the request channels close:
+		// it sends probe batches through them.
+		close(m.stopProber)
+		m.proberWG.Wait()
+
+		m.mu.Lock()
+		m.closed = true
+		for _, sh := range m.shards {
+			close(sh.reqs)
+		}
+		m.mu.Unlock()
+	})
 	m.runWG.Wait()
 }
 
@@ -145,27 +223,77 @@ func (m *Manager) Devices() []DeviceSnapshot {
 	return out
 }
 
-// Metrics returns the fleet-wide aggregate: summed counters and latency
-// percentiles merged across every device's window.
-func (m *Manager) Metrics() Metrics {
-	var c Counters
-	var merged stats.Sample
+// DeviceHealth returns one device's resilience view: health state,
+// anomaly streaks, and the full transition log.
+func (m *Manager) DeviceHealth(id string) (HealthReport, bool) {
+	md, ok := m.devs[id]
+	if !ok {
+		return HealthReport{}, false
+	}
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	return HealthReport{
+		ID:                      md.id,
+		Health:                  md.health,
+		ConsecutiveErrors:       md.consecErr,
+		ConsecutiveTimeouts:     md.consecSlow,
+		RejectedSinceQuarantine: md.rejections,
+		Probes:                  md.stats.probes,
+		Transitions:             append([]HealthTransition(nil), md.translog...),
+	}, true
+}
+
+// HealthLog returns every device's health-transition log in
+// configuration order. With deterministic per-device request streams
+// and fault schedules, the marshaled log is byte-identical across
+// runs and shard counts.
+func (m *Manager) HealthLog() []DeviceHealthLog {
+	out := make([]DeviceHealthLog, 0, len(m.order))
 	for _, id := range m.order {
 		md := m.devs[id]
 		md.mu.Lock()
-		c = c.add(md.counters())
+		out = append(out, DeviceHealthLog{
+			ID:          md.id,
+			Health:      md.health,
+			Transitions: append([]HealthTransition(nil), md.translog...),
+		})
+		md.mu.Unlock()
+	}
+	return out
+}
+
+// Metrics returns the fleet-wide aggregate: summed counters and latency
+// percentiles merged across every device's window. Quarantined (and
+// mid-probe) devices still contribute their counters and latencies,
+// but are excluded from the fleet accuracy figures and counted in the
+// UnhealthyDevices gauge instead.
+func (m *Manager) Metrics() Metrics {
+	var c, acc Counters
+	var merged stats.Sample
+	unhealthy := 0
+	for _, id := range m.order {
+		md := m.devs[id]
+		md.mu.Lock()
+		devCounters := md.counters()
+		c = c.add(devCounters)
+		if md.health == Quarantined || md.health == Recovering {
+			unhealthy++
+		} else {
+			acc = acc.add(devCounters)
+		}
 		for _, v := range md.stats.lats {
 			merged.Add(v)
 		}
 		md.mu.Unlock()
 	}
 	return Metrics{
-		Devices:    len(m.order),
-		Shards:     m.cfg.Shards,
-		Counters:   c,
-		HLRate:     c.HLRate(),
-		HLAccuracy: c.HLAccuracy(),
-		NLAccuracy: c.NLAccuracy(),
-		Latency:    summarize(&merged),
+		Devices:          len(m.order),
+		Shards:           m.cfg.Shards,
+		UnhealthyDevices: unhealthy,
+		Counters:         c,
+		HLRate:           c.HLRate(),
+		HLAccuracy:       acc.HLAccuracy(),
+		NLAccuracy:       acc.NLAccuracy(),
+		Latency:          summarize(&merged),
 	}
 }

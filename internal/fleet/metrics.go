@@ -27,6 +27,14 @@ type deviceStats struct {
 
 	bytes int64 // payload bytes moved
 
+	// Resilience tallies. requests counts only served completions;
+	// errors and rejected cover the other ways a routed request ends.
+	errors   int64 // exhausted-retry and fail-stop failures
+	rejected int64 // bounced off a quarantined device
+	retries  int64 // transient-error retries consumed
+	timeouts int64 // served completions at/over the request deadline
+	probes   int64 // recovery-probe attempts
+
 	// lats is a ring of the last latencyWindow latencies (ns).
 	lats []float64
 	next int
@@ -114,6 +122,15 @@ type Counters struct {
 	HLHits      int64 `json:"hl_hits"`
 	NLHits      int64 `json:"nl_hits"`
 	Bytes       int64 `json:"bytes"`
+
+	// Resilience counters: Requests counts served completions;
+	// Errors and Rejected are the failure outcomes, so
+	// Requests+Errors+Rejected is every request ever routed here.
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+	Probes   int64 `json:"probes"`
 }
 
 func (c Counters) add(o Counters) Counters {
@@ -126,6 +143,11 @@ func (c Counters) add(o Counters) Counters {
 	c.HLHits += o.HLHits
 	c.NLHits += o.NLHits
 	c.Bytes += o.Bytes
+	c.Errors += o.Errors
+	c.Rejected += o.Rejected
+	c.Retries += o.Retries
+	c.Timeouts += o.Timeouts
+	c.Probes += o.Probes
 	return c
 }
 
@@ -163,6 +185,9 @@ type DeviceSnapshot struct {
 	Preset string `json:"preset,omitempty"`
 	Shard  int    `json:"shard"`
 
+	// Health is the device's position in the resilience state machine.
+	Health Health `json:"health"`
+
 	Counters   Counters       `json:"counters"`
 	HLRate     float64        `json:"hl_rate"`
 	HLAccuracy float64        `json:"hl_accuracy"`
@@ -178,15 +203,18 @@ type DeviceSnapshot struct {
 	Clock simclock.Time `json:"clock_ns"`
 }
 
-// Metrics is the fleet-wide aggregate view.
+// Metrics is the fleet-wide aggregate view. The accuracy figures
+// cover only devices currently in service; quarantined devices are
+// tallied in the UnhealthyDevices gauge instead.
 type Metrics struct {
-	Devices    int            `json:"devices"`
-	Shards     int            `json:"shards"`
-	Counters   Counters       `json:"counters"`
-	HLRate     float64        `json:"hl_rate"`
-	HLAccuracy float64        `json:"hl_accuracy"`
-	NLAccuracy float64        `json:"nl_accuracy"`
-	Latency    LatencySummary `json:"latency"` // merged across devices
+	Devices          int            `json:"devices"`
+	Shards           int            `json:"shards"`
+	UnhealthyDevices int            `json:"unhealthy_devices"`
+	Counters         Counters       `json:"counters"`
+	HLRate           float64        `json:"hl_rate"`
+	HLAccuracy       float64        `json:"hl_accuracy"`
+	NLAccuracy       float64        `json:"nl_accuracy"`
+	Latency          LatencySummary `json:"latency"` // merged across devices
 }
 
 // snapshot captures the device's current stats under its mutex.
@@ -199,6 +227,7 @@ func (md *managedDevice) snapshot() DeviceSnapshot {
 		Device:           md.name,
 		Preset:           md.spec.Preset,
 		Shard:            md.shard,
+		Health:           md.health,
 		Counters:         md.counters(),
 		HLRate:           md.counters().HLRate(),
 		HLAccuracy:       md.counters().HLAccuracy(),
@@ -224,5 +253,10 @@ func (md *managedDevice) counters() Counters {
 		HLHits:      d.hlHits,
 		NLHits:      d.nlHits,
 		Bytes:       d.bytes,
+		Errors:      d.errors,
+		Rejected:    d.rejected,
+		Retries:     d.retries,
+		Timeouts:    d.timeouts,
+		Probes:      d.probes,
 	}
 }

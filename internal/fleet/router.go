@@ -27,44 +27,60 @@ func (r Request) block() blockdev.Request {
 }
 
 // Submit routes one request to the shard owning the device, runs it
-// through predict → submit → observe, and returns the prediction plus
-// the observed outcome. It blocks until the request completes.
+// through the resilience pipeline, and returns the prediction plus the
+// observed outcome. It blocks until the request completes. The
+// request's own failure (unknown device, quarantine, exhausted
+// retries) is returned as the error, so single-request callers need
+// not inspect Result.Err.
 func (m *Manager) Submit(deviceID string, op blockdev.Op, lba int64, sectors int) (Result, error) {
 	out, err := m.SubmitBatch([]Request{{DeviceID: deviceID, Op: op, LBA: lba, Sectors: sectors}})
 	if err != nil {
 		return Result{}, err
 	}
-	return out[0], nil
+	return out[0], out[0].Err
 }
 
 // SubmitBatch routes a batch of requests through the per-shard queues
 // and returns one result per request, in input order. Requests to the
 // same device are processed in their batch order; requests to devices
-// on different shards proceed in parallel. The whole batch is validated
-// before any work is dispatched, so an unknown device ID fails the call
-// without side effects.
+// on different shards proceed in parallel.
+//
+// Failures are per-request: an unknown device, an invalid address, a
+// quarantined device or an exhausted retry budget mark only that
+// entry's Result.Err (typed, errors.Is-compatible), and the rest of
+// the batch proceeds — one failing device never poisons a batch for
+// the healthy ones. The returned error is reserved for batch-level
+// problems (a closed manager).
 func (m *Manager) SubmitBatch(reqs []Request) ([]Result, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	// Group per shard, preserving input order within each group.
+	out := make([]Result, len(reqs))
+
+	// Validate addressing up front; invalid entries fail in place and
+	// are never dispatched.
 	perShard := make(map[*shard][]batchItem)
 	for i, r := range reqs {
 		md, ok := m.devs[r.DeviceID]
 		if !ok {
-			return nil, fmt.Errorf("fleet: unknown device %q", r.DeviceID)
+			out[i] = errResult(r.DeviceID, fmt.Errorf("device %q: %w", r.DeviceID, ErrUnknownDevice))
+			continue
 		}
 		if cap := md.dev.CapacitySectors(); r.LBA < 0 || r.LBA >= cap {
-			return nil, fmt.Errorf("fleet: device %q: LBA %d outside [0, %d)", r.DeviceID, r.LBA, cap)
+			out[i] = errResult(r.DeviceID, fmt.Errorf("fleet: device %q: LBA %d outside [0, %d)", r.DeviceID, r.LBA, cap))
+			continue
 		}
 		if r.Sectors < 0 {
-			return nil, fmt.Errorf("fleet: device %q: negative request length %d", r.DeviceID, r.Sectors)
+			out[i] = errResult(r.DeviceID, fmt.Errorf("fleet: device %q: negative request length %d", r.DeviceID, r.Sectors))
+			continue
 		}
 		sh := m.shards[md.shard]
 		perShard[sh] = append(perShard[sh], batchItem{md: md, req: r.block(), idx: i})
 	}
+	if len(perShard) == 0 {
+		return out, nil
+	}
 
-	out := make([]Result, len(reqs))
 	var wg sync.WaitGroup
 	wg.Add(len(perShard))
 
@@ -74,7 +90,7 @@ func (m *Manager) SubmitBatch(reqs []Request) ([]Result, error) {
 	m.mu.RLock()
 	if m.closed {
 		m.mu.RUnlock()
-		return nil, fmt.Errorf("fleet: manager is closed")
+		return nil, ErrManagerClosed
 	}
 	for sh, items := range perShard {
 		sh.reqs <- shardBatch{items: items, out: out, wg: &wg}

@@ -1,32 +1,48 @@
 package fleet
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/faults"
 	"ssdcheck/internal/simclock"
 	"ssdcheck/internal/trace"
 )
 
-// managedDevice is one fleet member: a device, its predictor, and its
-// private virtual clock. All fields above mu are touched only by the
-// owning shard's goroutine (plus initialization); the stats block below
-// mu is shared with metrics readers.
+// managedDevice is one fleet member: a device, its predictor, its
+// private virtual clock, and its health state. The device, predictor,
+// clock and RNG are touched only by the owning shard's goroutine (plus
+// initialization); everything below mu is shared with metrics and
+// health readers.
 type managedDevice struct {
 	id    string
 	name  string // simulator label ("SSD A", ...)
 	spec  DeviceSpec
 	shard int
 
-	dev blockdev.Device
-	pr  *core.Predictor
-	now simclock.Time // per-device virtual clock
+	dev      blockdev.Device
+	fallible blockdev.FallibleDevice // cached checked surface, may be nil
+	inj      *faults.Injector        // non-nil when spec.Faults is set
+	pr       *core.Predictor
+	now      simclock.Time // per-device virtual clock
+	rng      *simclock.RNG // retry jitter + recovery-probe addresses
 
 	mu    sync.Mutex
 	stats deviceStats
+	// Health state machine (written by the shard under mu, read by
+	// snapshots and the router).
+	health     Health
+	seq        int64 // routed requests, including rejected ones
+	consecErr  int
+	consecSlow int
+	consecOK   int
+	rejections int64 // rejected since quarantine; triggers recovery probes
+	translog   []HealthTransition
 	// Cached predictor state, refreshed by the shard after every
 	// request so readers never touch the (non-thread-safe) predictor.
 	enabled bool
@@ -36,7 +52,9 @@ type managedDevice struct {
 
 // init preconditions and diagnoses the device, then builds its
 // predictor. It runs on the owning shard's goroutine during startup so
-// fleets diagnose in parallel, one shard at a time per device.
+// fleets diagnose in parallel, one shard at a time per device. The
+// fault injector (if any) stays disarmed until every device finishes
+// init, so setup traffic is fault-free.
 func (md *managedDevice) init(cfg Config) error {
 	if tagged, ok := md.dev.(blockdev.TaggedDevice); ok && cfg.PreconditionFactor > 0 {
 		md.now = trace.Precondition(tagged, md.spec.Seed, cfg.PreconditionFactor, md.now)
@@ -52,17 +70,84 @@ func (md *managedDevice) init(cfg Config) error {
 		}
 	}
 	md.pr = core.NewPredictor(feats, md.spec.Params)
+	md.rng = simclock.NewRNG(md.spec.Seed ^ 0x5afe) // device-private resilience stream
 	md.publish()
 	return nil
 }
 
-// process runs one request through the predict → submit → observe
-// pipeline on the device's virtual clock and records it in the stats.
-func (md *managedDevice) process(req blockdev.Request) Result {
+// process runs one request through the resilience pipeline on the
+// device's virtual clock: quarantine check (with deterministic
+// recovery probing), predict, submit with bounded retry, deadline
+// classification, observe, record.
+func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
+	md.mu.Lock()
+	md.seq++
+	if md.health == Quarantined {
+		md.rejections++
+		probeDue := cfg.Health.ProbeAfterRejections > 0 && md.rejections >= int64(cfg.Health.ProbeAfterRejections)
+		md.mu.Unlock()
+		if probeDue {
+			md.tryRecover(cfg)
+		}
+		md.mu.Lock()
+		if md.health == Quarantined {
+			md.stats.rejected++
+			md.mu.Unlock()
+			return errResult(md.id, fmt.Errorf("device %q: %w", md.id, ErrDeviceQuarantined))
+		}
+		// A probe pass put the device back in service in time to take
+		// this very request.
+		md.mu.Unlock()
+	} else {
+		md.mu.Unlock()
+	}
+
 	pred := md.pr.Predict(req, md.now)
-	done := md.dev.Submit(req, md.now)
-	md.pr.Observe(req, md.now, done)
-	lat := done.Sub(md.now)
+
+	// Submit with bounded retry: transient failures back off
+	// exponentially (with seeded jitter) on the virtual clock and try
+	// again; fail-stop errors and an exhausted budget give up.
+	submitAt := md.now
+	retries := 0
+	var done simclock.Time
+	var err error
+	for {
+		done, err = md.submitChecked(req, submitAt)
+		if err == nil || !errors.Is(err, blockdev.ErrTransient) || retries >= cfg.Retry.MaxRetries {
+			break
+		}
+		d := cfg.Retry.Backoff << retries
+		if d > cfg.Retry.MaxBackoff {
+			d = cfg.Retry.MaxBackoff
+		}
+		if cfg.Retry.Jitter > 0 {
+			d = time.Duration(float64(d) * (1 - cfg.Retry.Jitter*md.rng.Float64()))
+		}
+		retries++
+		submitAt = submitAt.Add(d)
+	}
+	md.now = submitAt
+
+	if err != nil {
+		res := errResult(md.id, fmt.Errorf("device %q: %w", md.id, err))
+		res.HL, res.EET, res.Retries = pred.HL, pred.EET, retries
+		md.mu.Lock()
+		md.stats.errors++
+		md.stats.retries += int64(retries)
+		md.noteOutcomeLocked(err, false, cfg.Health)
+		md.publishLocked()
+		md.mu.Unlock()
+		return res
+	}
+
+	lat := done.Sub(submitAt)
+	timedOut := lat >= cfg.Health.RequestTimeout
+	if !timedOut {
+		// Timeout-class completions are withheld from the model: a
+		// stuck or storming device would otherwise poison the
+		// calibrator it needs for recovery.
+		md.pr.Observe(req, submitAt, done)
+	}
 	res := Result{
 		DeviceID:    md.id,
 		HL:          pred.HL,
@@ -70,11 +155,18 @@ func (md *managedDevice) process(req blockdev.Request) Result {
 		Latency:     lat,
 		ObservedHL:  md.pr.Classify(req.Op, lat),
 		CompletedAt: done,
+		Retries:     retries,
+		TimedOut:    timedOut,
 	}
 	md.now = done
 
 	md.mu.Lock()
 	md.stats.record(req, pred.HL, lat, res.ObservedHL)
+	md.stats.retries += int64(retries)
+	if timedOut {
+		md.stats.timeouts++
+	}
+	md.noteOutcomeLocked(nil, timedOut, cfg.Health)
 	md.publishLocked()
 	md.mu.Unlock()
 	return res
@@ -92,9 +184,15 @@ func (md *managedDevice) publishLocked() {
 	md.clock = md.now
 }
 
+// errResult builds a failed per-request result, mirroring the error
+// onto the wire field.
+func errResult(id string, err error) Result {
+	return Result{DeviceID: id, Err: err, Error: err.Error()}
+}
+
 // Result is the fleet's answer for one submitted request.
 type Result struct {
-	// DeviceID names the device that served the request.
+	// DeviceID names the device the request was addressed to.
 	DeviceID string `json:"device"`
 	// HL is the prediction made before submission.
 	HL bool `json:"hl"`
@@ -108,7 +206,21 @@ type Result struct {
 	ObservedHL bool `json:"observed_hl"`
 	// CompletedAt is the device's virtual clock after the request.
 	CompletedAt simclock.Time `json:"completed_at_ns"`
+	// Retries counts transient-error retries this request consumed.
+	Retries int `json:"retries,omitempty"`
+	// TimedOut marks a completion at or over the request deadline.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Err is the request's failure, nil on success. It wraps one of
+	// the typed sentinels (blockdev.ErrTransient,
+	// blockdev.ErrDeviceFailed, ErrDeviceQuarantined,
+	// ErrUnknownDevice) for errors.Is dispatch.
+	Err error `json:"-"`
+	// Error is Err's message for the wire; empty on success.
+	Error string `json:"error,omitempty"`
 }
+
+// Failed reports whether the request was not served.
+func (r Result) Failed() bool { return r.Err != nil }
 
 // batchItem is one request routed to a shard, carrying its slot in the
 // caller's result slice.
@@ -119,13 +231,15 @@ type batchItem struct {
 }
 
 // shardBatch is the unit of work a shard receives: a slice of items to
-// process in order, writing each result into its own slot of out. Slots
-// are disjoint across shards, and wg publishes the writes to the
-// caller.
+// process in order, writing each result into its own slot of out, or —
+// when probe is set — a sweep that recovery-probes the shard's
+// quarantined devices. Slots are disjoint across shards, and wg
+// publishes the writes to the caller.
 type shardBatch struct {
 	items []batchItem
 	out   []Result
 	wg    *sync.WaitGroup
+	probe bool
 }
 
 // shard owns a disjoint subset of the fleet's devices and processes
@@ -136,11 +250,23 @@ type shard struct {
 	devs []*managedDevice
 }
 
-func (s *shard) run(done *sync.WaitGroup) {
+func (s *shard) run(done *sync.WaitGroup, cfg Config) {
 	defer done.Done()
 	for b := range s.reqs {
+		if b.probe {
+			for _, md := range s.devs {
+				md.mu.Lock()
+				quarantined := md.health == Quarantined
+				md.mu.Unlock()
+				if quarantined {
+					md.tryRecover(cfg)
+				}
+			}
+			b.wg.Done()
+			continue
+		}
 		for _, it := range b.items {
-			b.out[it.idx] = it.md.process(it.req)
+			b.out[it.idx] = it.md.process(it.req, cfg)
 		}
 		b.wg.Done()
 	}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ssdcheck/internal/faults"
+	"ssdcheck/internal/trace"
+)
+
+// TestChaosSoak drives a 4-device fleet through a storm of randomized
+// fault schedules — transient showers, stuck-busy windows, latency
+// storms, one fail-stop — from concurrent submitters while metrics
+// and health readers poll, and asserts the resilience invariants:
+// no deadlock (the test finishes), no lost requests (every routed
+// request is served, failed or rejected — exactly one of the three),
+// and the state machine actually moves (quarantine and recovery
+// transitions observed). Run under -race in CI.
+func TestChaosSoak(t *testing.T) {
+	perDevice := 12500 // 50k requests fleet-wide
+	if testing.Short() {
+		perDevice = 1500
+	}
+
+	devs := []DeviceSpec{
+		// Short stuck-busy window: quarantines on timeouts, then the
+		// probes drain the window's tail and bring the device back.
+		{ID: "soak-a", Preset: "A", Seed: 101, Faults: &faults.Config{Seed: 1, Schedules: []faults.Schedule{
+			{Kind: faults.Transient, Prob: 0.01},
+			{Kind: faults.StuckBusy, At: int64(perDevice / 5), Count: 12},
+		}}},
+		// Latency storm hot enough (5000 × ~100µs) to blow the 250ms
+		// deadline, plus a heavier transient shower.
+		{ID: "soak-d", Preset: "D", Seed: 102, Faults: &faults.Config{Seed: 2, Schedules: []faults.Schedule{
+			{Kind: faults.Transient, Prob: 0.02},
+			{Kind: faults.LatencyStorm, At: int64(perDevice / 3), Count: 12, Factor: 5000},
+		}}},
+		// Silent drift the calibrator has to live with.
+		{ID: "soak-f", Preset: "F", Seed: 103, Faults: &faults.Config{Seed: 3, Schedules: []faults.Schedule{
+			{Kind: faults.Drift, At: int64(perDevice / 4), Factor: 1.2},
+			{Kind: faults.Transient, Prob: 0.01},
+		}}},
+		// Fail-stop halfway: must end quarantined, probes keep failing.
+		{ID: "soak-h", Preset: "H", Seed: 104, Faults: &faults.Config{Seed: 4, Schedules: []faults.Schedule{
+			{Kind: faults.FailStop, At: int64(perDevice / 2)},
+		}}},
+	}
+	cfg := testConfig(devs, 3)
+	cfg.Retry = RetryPolicy{MaxRetries: -1} // surface every error: feed the state machine
+	cfg.Health = HealthPolicy{
+		DegradeAfterErrors:      2,
+		QuarantineAfterErrors:   6,
+		DegradeAfterTimeouts:    2,
+		QuarantineAfterTimeouts: 6,
+		RecoverAfterOK:          16,
+		ProbeAfterRejections:    64,
+		ProbeRequests:           8,
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Concurrent pollers keep the snapshot paths busy for -race.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Metrics()
+			m.HealthLog()
+			m.DeviceHealth("soak-a")
+		}
+	}()
+
+	type tally struct{ served, failed, rejected int64 }
+	tallies := make([]tally, len(devs))
+	var wg sync.WaitGroup
+	for di, d := range devs {
+		wg.Add(1)
+		go func(di int, id string, seed uint64) {
+			defer wg.Done()
+			reqs := trace.Generate(trace.RWMixed, 1<<20, seed, perDevice)
+			const chunk = 64
+			for off := 0; off < len(reqs); off += chunk {
+				end := off + chunk
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				batch := make([]Request, 0, end-off)
+				for _, r := range reqs[off:end] {
+					batch = append(batch, Request{DeviceID: id, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors})
+				}
+				res, err := m.SubmitBatch(batch)
+				if err != nil {
+					t.Errorf("%s: batch-level error: %v", id, err)
+					return
+				}
+				for _, r := range res {
+					switch {
+					case r.Err == nil:
+						tallies[di].served++
+					case errors.Is(r.Err, ErrDeviceQuarantined):
+						tallies[di].rejected++
+					default:
+						tallies[di].failed++
+					}
+				}
+			}
+		}(di, d.ID, 9000+uint64(di))
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var sawQuarantine, sawRecovery bool
+	for di, d := range devs {
+		got := tallies[di]
+		if total := got.served + got.failed + got.rejected; total != int64(perDevice) {
+			t.Errorf("%s lost requests: served=%d failed=%d rejected=%d (want total %d)",
+				d.ID, got.served, got.failed, got.rejected, perDevice)
+		}
+		snap, _ := m.Device(d.ID)
+		if snap.Counters.Requests != got.served ||
+			snap.Counters.Errors != got.failed ||
+			snap.Counters.Rejected != got.rejected {
+			t.Errorf("%s counters disagree with caller tally: %+v vs %+v", d.ID, snap.Counters, got)
+		}
+		hr, _ := m.DeviceHealth(d.ID)
+		for _, tr := range hr.Transitions {
+			if tr.To == Quarantined {
+				sawQuarantine = true
+			}
+			if tr.From == Recovering && tr.To == Healthy {
+				sawRecovery = true
+			}
+		}
+	}
+	if !sawQuarantine {
+		t.Error("chaos soak never quarantined a device")
+	}
+	if !sawRecovery {
+		t.Error("chaos soak never recovered a device")
+	}
+
+	// The fail-stop device must be dead and on the unhealthy gauge.
+	if snap, _ := m.Device("soak-h"); snap.Health != Quarantined {
+		t.Errorf("fail-stop device ends %v", snap.Health)
+	}
+	if met := m.Metrics(); met.UnhealthyDevices == 0 {
+		t.Errorf("unhealthy_devices gauge is zero: %+v", met)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/faults"
 	"ssdcheck/internal/fleet"
 	"ssdcheck/internal/host"
 	"ssdcheck/internal/lvm"
@@ -251,6 +252,76 @@ var FleetPresetDevices = fleet.PresetDevices
 // FastDiagnosis returns reduced-strength diagnosis options for quick
 // fleet startup in examples, tests and benchmarks.
 var FastDiagnosis = fleet.FastDiagnosis
+
+// Fault injection and fleet resilience (beyond the paper): a seedable
+// fault injector that wraps any Device, and the fleet's health state
+// machine, retry policy and recovery probes built to survive it. See
+// internal/faults, the "Failure model" section of DESIGN.md, and
+// examples/faults for a runnable walkthrough.
+type (
+	// FaultInjector wraps a device and injects faults per a
+	// deterministic, seedable schedule.
+	FaultInjector = faults.Injector
+	// FaultConfig is a seed plus a set of fault schedules.
+	FaultConfig = faults.Config
+	// FaultSchedule arms one fault: what kind, when (request number or
+	// probability), and how hard.
+	FaultSchedule = faults.Schedule
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faults.Kind
+	// FaultStats counts what an injector actually did.
+	FaultStats = faults.Stats
+
+	// DeviceHealth is a fleet device's resilience state.
+	DeviceHealth = fleet.Health
+	// HealthTransition is one logged edge of the health state machine.
+	HealthTransition = fleet.HealthTransition
+	// HealthReport is the detailed per-device resilience view.
+	HealthReport = fleet.HealthReport
+	// RetryPolicy bounds transient-error retries (deterministic
+	// backoff + jitter on the virtual clock).
+	RetryPolicy = fleet.RetryPolicy
+	// HealthPolicy tunes the health state machine and recovery probes.
+	HealthPolicy = fleet.HealthPolicy
+)
+
+// The injectable fault classes.
+const (
+	FaultTransient    = faults.Transient
+	FaultLatencyStorm = faults.LatencyStorm
+	FaultStuckBusy    = faults.StuckBusy
+	FaultFailStop     = faults.FailStop
+	FaultDrift        = faults.Drift
+)
+
+// Health states of a fleet device.
+const (
+	DeviceHealthy     = fleet.Healthy
+	DeviceDegraded    = fleet.Degraded
+	DeviceQuarantined = fleet.Quarantined
+	DeviceRecovering  = fleet.Recovering
+)
+
+// Typed failure sentinels, errors.Is-compatible.
+var (
+	// ErrTransient marks a retryable I/O failure.
+	ErrTransient = blockdev.ErrTransient
+	// ErrDeviceFailed marks a permanent (fail-stop) device failure.
+	ErrDeviceFailed = blockdev.ErrDeviceFailed
+	// ErrDeviceQuarantined rejects requests to an out-of-service device.
+	ErrDeviceQuarantined = fleet.ErrDeviceQuarantined
+	// ErrUnknownDevice rejects requests to an ID the fleet doesn't own.
+	ErrUnknownDevice = fleet.ErrUnknownDevice
+	// ErrFleetClosed rejects batches submitted after Close.
+	ErrFleetClosed = fleet.ErrManagerClosed
+)
+
+// NewFaultInjector wraps a device in a fault injector. The injector is
+// armed from the start; fleets built with FleetDeviceSpec.Faults
+// instead arm it only after preconditioning and diagnosis.
+func NewFaultInjector(dev Device, cfg FaultConfig) (*FaultInjector, error) {
+	return faults.New(dev, cfg)
+}
 
 // Hybrid PAS with an NVM tier (paper §IV-B).
 type (
