@@ -9,7 +9,10 @@
 //	GET  /v1/devices              per-device stats snapshots
 //	GET  /v1/devices/{id}         one device's stats and model state
 //	GET  /v1/devices/{id}/health  one device's health state and transition log
-//	GET  /v1/metrics              fleet-wide aggregate
+//	GET  /v1/metrics              fleet-wide aggregate (JSON)
+//	GET  /v1/traces               sampled request traces (?device=ID, ?format=chrome)
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /debug/pprof/            runtime profiling
 //	GET  /healthz                 liveness, degraded-aware
 //
 // Submit failures are per-request: a quarantined or failed device marks
@@ -22,6 +25,13 @@
 //	ssdcheckd -addr :8080 -devices 16 -presets A,B,C,D,E,F,G,H -shards 4
 //	ssdcheckd -devices 4 -features ./diagnoses   # preload saved diagnoses
 //	ssdcheckd -devices 4 -probe-interval 1s      # faster quarantine re-probing
+//	ssdcheckd -devices 4 -trace-sample 0.01      # trace 1% of requests
+//
+// -trace-sample enables the per-request span tracer: the given
+// fraction of requests (deterministically chosen from the seed) record
+// queue/route/predict/submit/calibrate spans on the virtual clock,
+// retained in bounded per-device rings (-trace-buffer) and served at
+// /v1/traces as JSON or Chrome trace_event format.
 //
 // With -features DIR, a file DIR/<deviceID>.json saved via the
 // diagnosis persistence format (extract.Features.Save) is loaded at
@@ -44,6 +54,7 @@ import (
 
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
 )
 
 func main() {
@@ -56,6 +67,8 @@ func main() {
 	featuresDir := flag.String("features", "", "directory of persisted diagnoses (<deviceID>.json)")
 	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
 	probeInterval := flag.Duration("probe-interval", 5*time.Second, "background recovery-probe period for quarantined devices (0 = rejection-triggered only)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace, 0..1 (0 = tracing off)")
+	traceBuffer := flag.Int("trace-buffer", 256, "retained traces per device")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ssdcheckd: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -63,15 +76,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval); err != nil {
+	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval, *traceSample, *traceBuffer); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheckd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration) error {
+func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int) error {
 	if devices <= 0 {
 		return fmt.Errorf("need at least one device (-devices)")
+	}
+	if traceSample < 0 || traceSample > 1 {
+		return fmt.Errorf("-trace-sample %v outside [0,1]", traceSample)
 	}
 	var cycle []string
 	for _, p := range strings.Split(presets, ",") {
@@ -80,10 +96,18 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 		}
 	}
 
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if traceSample > 0 {
+		tracer = obs.NewTracer(seed, traceSample, traceBuffer)
+	}
+
 	cfg := fleet.Config{
 		Devices:    fleet.PresetDevices(devices, cycle, seed),
 		Shards:     shards,
 		QueueDepth: queue,
+		Registry:   reg,
+		Recorder:   obs.Observer{Reg: reg, Tr: tracer},
 	}
 	cfg.Health.ProbeInterval = probeInterval
 	if fastDiag {
@@ -105,7 +129,7 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 	log.Printf("fleet up in %v: devices=%s", time.Since(start).Round(time.Millisecond),
 		strings.Join(m.DeviceIDs(), ","))
 
-	srv := &http.Server{Addr: addr, Handler: newServer(m)}
+	srv := &http.Server{Addr: addr, Handler: newServer(m, tracer)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

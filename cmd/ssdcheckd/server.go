@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
 )
 
 // submitRequest is the wire form of one fleet request: the op travels
@@ -45,6 +47,9 @@ func parseOp(s string) (blockdev.Op, error) {
 	}
 }
 
+// writeJSON is the single JSON response path: every handler goes
+// through it (or writeError) so the Content-Type header is set
+// consistently across the API surface.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -57,8 +62,10 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// newServer wires the fleet manager into the daemon's HTTP surface.
-func newServer(m *fleet.Manager) http.Handler {
+// newServer wires the fleet manager and the observability subsystem
+// into the daemon's HTTP surface. tr may be nil when tracing is off;
+// /v1/traces then serves an empty set.
+func newServer(m *fleet.Manager, tr *obs.Tracer) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +156,42 @@ func newServer(m *fleet.Manager) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Metrics() refreshes the fleet-level gauges before the
+		// registry renders.
+		_ = m.Metrics()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.Registry().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		var traces []obs.RequestTrace
+		if tr != nil {
+			if dev := r.URL.Query().Get("device"); dev != "" {
+				traces = tr.DeviceTraces(dev)
+			} else {
+				traces = tr.Traces()
+			}
+		}
+		if traces == nil {
+			traces = []obs.RequestTrace{}
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, traces)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
+	})
+
+	// pprof: CPU/heap/goroutine profiling of the live daemon, wired
+	// explicitly (the daemon's mux is not http.DefaultServeMux).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	return mux
 }

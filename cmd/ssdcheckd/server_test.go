@@ -52,7 +52,7 @@ func getJSON(t *testing.T, srv *httptest.Server, path string, out any) *http.Res
 
 func TestServerEndToEnd(t *testing.T) {
 	m := newTestFleet(t)
-	srv := httptest.NewServer(newServer(m))
+	srv := httptest.NewServer(newServer(m, nil))
 	defer srv.Close()
 
 	// Liveness.
@@ -144,7 +144,7 @@ func TestServerErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := httptest.NewServer(newServer(m))
+	srv := httptest.NewServer(newServer(m, nil))
 	defer srv.Close()
 
 	post := func(body string) (int, submitResponse) {
@@ -226,7 +226,7 @@ func TestServerDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := httptest.NewServer(newServer(m))
+	srv := httptest.NewServer(newServer(m, nil))
 	defer srv.Close()
 
 	var body submitBody

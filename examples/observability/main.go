@@ -1,0 +1,136 @@
+// Observability: the metrics registry and request tracer end to end —
+// a four-device fleet (one riding out injected transient faults) runs
+// the Build workload with every request traced, a Prometheus scrape is
+// taken over HTTP exactly as a monitoring agent would take it, and the
+// Chrome trace of one mispredicted request is dumped for
+// chrome://tracing. Sampling is seeded, so the same requests are traced
+// on every run.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"ssdcheck"
+)
+
+func main() {
+	const perDevice = 4000
+
+	// 1. The observability subsystem: one registry shared by every
+	//    device's counters and histograms, and a tracer recording every
+	//    request (rate 1 keeps this demo simple; production fleets run
+	//    -trace-sample 0.01 or less — the sampler's cost is one hash).
+	reg := ssdcheck.NewMetricsRegistry()
+	tracer := ssdcheck.NewTracer(42, 1, 512)
+
+	devs := []ssdcheck.FleetDeviceSpec{
+		{ID: "ssd-a", Preset: "A", Seed: 1},
+		{ID: "ssd-d", Preset: "D", Seed: 2},
+		{ID: "ssd-f", Preset: "F", Seed: 3},
+		{ID: "flaky", Preset: "B", Seed: 4, Faults: &ssdcheck.FaultConfig{
+			Seed: 9,
+			Schedules: []ssdcheck.FaultSchedule{
+				{Kind: ssdcheck.FaultTransient, Prob: 0.02},
+			},
+		}},
+	}
+	m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+		Devices:   devs,
+		Shards:    2,
+		Diagnosis: ssdcheck.FastDiagnosis(),
+		Registry:  reg,
+		Recorder:  ssdcheck.Observer{Reg: reg, Tr: tracer},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	fmt.Printf("fleet up: %d devices, %d shards, tracing 100%% of requests\n\n",
+		len(m.DeviceIDs()), m.Shards())
+
+	// 2. Drive the Build workload (write-heavy, so buffer flushes and GC
+	//    keep the predictor busy) through every device.
+	for i, id := range m.DeviceIDs() {
+		for _, r := range ssdcheck.GenerateWorkload(ssdcheck.Build, 1<<20, uint64(300+i), perDevice) {
+			m.Submit(id, r.Op, r.LBA, r.Sectors) // per-request errors are part of the demo
+		}
+	}
+	m.Metrics() // refresh the fleet-level gauges before scraping
+
+	// 3. Scrape /metrics the way Prometheus would: over HTTP, off the
+	//    same handler shape cmd/ssdcheckd serves.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	fmt.Printf("scraped %s -> %d series lines; a sample:\n", srv.URL+"/metrics", len(lines))
+	for _, want := range []string{
+		"ssdcheck_requests_total{",
+		"ssdcheck_request_retries_total{device=\"flaky\"}",
+		"ssdcheck_request_latency_seconds_count{",
+		"ssdcheck_events_total{",
+		"ssdcheck_fleet_devices",
+	} {
+		for _, l := range lines {
+			if strings.HasPrefix(l, want) {
+				fmt.Printf("  %s\n", l)
+				break
+			}
+		}
+	}
+
+	// 4. The tracer's catch: every request's spans on the virtual clock.
+	//    Pull out the mispredictions — the requests SSDcheck exists to
+	//    eliminate — and dump one HL surprise as a Chrome trace.
+	traces := tracer.Traces()
+	missed := 0
+	var worst *ssdcheck.RequestTrace
+	for i := range traces {
+		rt := &traces[i]
+		if rt.Mispredicted() {
+			missed++
+			if rt.ObservedHL && (worst == nil || rt.Latency > worst.Latency) {
+				worst = rt
+			}
+		}
+	}
+	fmt.Printf("\ntraced %d requests, %d mispredicted (%.2f%%)\n",
+		len(traces), missed, 100*float64(missed)/float64(len(traces)))
+
+	if worst == nil {
+		fmt.Println("no HL misprediction in the trace window")
+		return
+	}
+	fmt.Printf("worst HL surprise: %s seq=%d %s lba=%d predicted NL (EET %v) but took %v:\n",
+		worst.Device, worst.Seq, worst.Op, worst.LBA, worst.EET, worst.Latency)
+	for _, sp := range worst.Spans {
+		fmt.Printf("  %-10s @%-12d +%dns\n", sp.Name, sp.Start, sp.End.Sub(sp.Start))
+	}
+
+	f, err := os.CreateTemp("", "ssdcheck-trace-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := ssdcheck.WriteChromeTrace(f, []ssdcheck.RequestTrace{*worst}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChrome trace written to %s (load in chrome://tracing or Perfetto)\n", f.Name())
+}

@@ -96,6 +96,7 @@ func (p *Predictor) observeWrite(v *volumeModel, pages int, lat time.Duration, h
 	case hl && p.gcConfirm(v, lat):
 		// GC (or SLC fold) observed: close the interval, feed the
 		// distribution, recalibrate the GC overhead.
+		p.event("gc_confirmed")
 		if !p.params.NoCalibration {
 			v.dist.Add(v.flushesSinceGC)
 			v.gcOverhead.Update(lat)
@@ -165,6 +166,7 @@ func (p *Predictor) observeRead(v *volumeModel, lat time.Duration, hl bool, subm
 		v.lastFlushAt = submit
 		switch {
 		case hl && p.gcConfirm(v, lat):
+			p.event("gc_confirmed")
 			if !p.params.NoCalibration {
 				v.dist.Add(v.flushesSinceGC)
 				v.gcOverhead.Update(lat)
@@ -179,6 +181,7 @@ func (p *Predictor) observeRead(v *volumeModel, lat time.Duration, hl bool, subm
 
 	switch {
 	case hl && p.gcConfirm(v, lat):
+		p.event("gc_confirmed")
 		if !p.params.NoCalibration {
 			v.dist.Add(v.flushesSinceGC)
 			v.gcOverhead.Update(lat)
@@ -198,6 +201,7 @@ func (p *Predictor) observeRead(v *volumeModel, lat time.Duration, hl bool, subm
 			// of phase — resync it onto the device (paper §III-C2)
 			// and account the missed flush.
 			if v.strikeMisalignment() {
+				p.event("buffer_resync")
 				v.resyncBuffer(done.Add(-v.flushOverhead.Value()*11/10), submit)
 				v.flushesSinceGC++
 				v.lastFlushAt = submit
@@ -253,8 +257,12 @@ func (p *Predictor) calibrateAccuracy() {
 	acc := p.HLAccuracy()
 	switch {
 	case acc < p.params.DisableBelowHL && p.distResets > 0:
+		if p.enabled {
+			p.event("calib_disabled")
+		}
 		p.enabled = false
 	case acc < p.params.ResetDistBelowHL:
+		p.event("calib_dist_reset")
 		for _, v := range p.vols {
 			v.dist.Reset()
 			v.flushesSinceGC = 0

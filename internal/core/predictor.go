@@ -5,6 +5,7 @@ import (
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/extract"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/simclock"
 )
 
@@ -100,6 +101,29 @@ type Predictor struct {
 	hlSeen, hlHit int
 	nlSeen, nlHit int
 	distResets    int
+
+	// Optional observability hook: calibration events (GC confirms,
+	// buffer resyncs, history resets, harmless disable) are reported
+	// here, attributed to subject. nil drops them.
+	rec     obs.Recorder
+	subject string
+}
+
+// SetRecorder attaches an observability recorder; calibrator and
+// GC-detector events are reported to it, attributed to subject
+// (typically the device ID). Pass obs.Nop() or leave unset to keep the
+// predictor silent.
+func (p *Predictor) SetRecorder(rec obs.Recorder, subject string) {
+	p.rec = rec
+	p.subject = subject
+}
+
+// event reports one named calibration event. Events fire on rare model
+// repairs, never on the per-request hot path.
+func (p *Predictor) event(name string) {
+	if p.rec != nil {
+		p.rec.Event(name, p.subject)
+	}
 }
 
 // NewPredictor builds the runtime framework from extracted features —

@@ -32,6 +32,7 @@ import (
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/faults"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/ssd"
 )
 
@@ -250,11 +251,28 @@ type Config struct {
 	// Health tunes the per-device health state machine and recovery
 	// probes. The zero value takes the standard defaults.
 	Health HealthPolicy
+
+	// Registry receives the fleet's metrics (request/error/retry
+	// counters, health gauges, latency histograms), which the daemon
+	// exposes in Prometheus text format. nil builds a private registry
+	// — the same metrics still power the JSON snapshots.
+	Registry *obs.Registry
+
+	// Recorder receives sampled request traces and named events
+	// (health transitions, calibration resets). nil defaults to the
+	// allocation-free no-op recorder.
+	Recorder obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
 	c.Retry = c.Retry.withDefaults()
 	c.Health = c.Health.withDefaults()
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.Nop()
+	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}

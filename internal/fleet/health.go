@@ -149,6 +149,8 @@ func (md *managedDevice) transitionLocked(to Health, cause string) {
 		Seq: md.seq, From: md.health, To: to, Cause: cause,
 	})
 	md.health = to
+	md.stats.vals[statTransitions]++
+	md.rec.Event("health_"+to.String(), md.id)
 }
 
 // noteOutcomeLocked feeds one served request's outcome (error, timeout
@@ -211,7 +213,7 @@ func (md *managedDevice) tryRecover(cfg Config) {
 		return
 	}
 	md.transitionLocked(Recovering, "recovery probe")
-	md.stats.probes++
+	md.stats.vals[statProbes]++
 	md.mu.Unlock()
 
 	ok := md.runProbe(cfg)

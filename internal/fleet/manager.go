@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"ssdcheck/internal/faults"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/ssd"
-	"ssdcheck/internal/stats"
 )
 
 // Manager owns a fleet of device+predictor pairs sharded across a
@@ -35,6 +35,9 @@ type Manager struct {
 	closeOnce sync.Once
 	mu        sync.RWMutex // guards closed vs. in-flight channel sends
 	closed    bool
+
+	// Fleet-level registry gauges, refreshed by Metrics().
+	gDevices, gShards, gUnhealthy *obs.Gauge
 }
 
 // New builds the fleet: it constructs every device (wrapping it in a
@@ -53,6 +56,9 @@ func New(cfg Config) (*Manager, error) {
 		cfg:        cfg,
 		devs:       make(map[string]*managedDevice, len(cfg.Devices)),
 		stopProber: make(chan struct{}),
+		gDevices:   cfg.Registry.Gauge("ssdcheck_fleet_devices", "Configured fleet size."),
+		gShards:    cfg.Registry.Gauge("ssdcheck_fleet_shards", "Worker-pool size."),
+		gUnhealthy: cfg.Registry.Gauge("ssdcheck_fleet_unhealthy_devices", "Devices currently quarantined or recovering."),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		m.shards = append(m.shards, &shard{id: i, reqs: make(chan shardBatch, cfg.QueueDepth)})
@@ -79,7 +85,13 @@ func New(cfg Config) (*Manager, error) {
 			sh = auto % cfg.Shards
 			auto++
 		}
-		md := &managedDevice{id: spec.ID, name: dev.Name(), spec: spec, shard: sh, dev: dev}
+		md := &managedDevice{
+			id: spec.ID, name: dev.Name(), spec: spec, shard: sh, dev: dev,
+			rec:     cfg.Recorder,
+			stats:   newDeviceStats(cfg.Registry, spec.ID),
+			healthG: cfg.Registry.Gauge("ssdcheck_device_health", "Health state (0=healthy 1=degraded 2=quarantined 3=recovering).", obs.Label{Name: "device", Value: spec.ID}),
+			clockG:  cfg.Registry.Gauge("ssdcheck_device_clock_ns", "Device virtual clock, nanoseconds.", obs.Label{Name: "device", Value: spec.ID}),
+		}
 		if spec.Faults != nil {
 			inj, err := faults.New(dev, *spec.Faults)
 			if err != nil {
@@ -232,13 +244,14 @@ func (m *Manager) DeviceHealth(id string) (HealthReport, bool) {
 	}
 	md.mu.Lock()
 	defer md.mu.Unlock()
+	md.flushObsLocked()
 	return HealthReport{
 		ID:                      md.id,
 		Health:                  md.health,
 		ConsecutiveErrors:       md.consecErr,
 		ConsecutiveTimeouts:     md.consecSlow,
 		RejectedSinceQuarantine: md.rejections,
-		Probes:                  md.stats.probes,
+		Probes:                  md.stats.vals[statProbes],
 		Transitions:             append([]HealthTransition(nil), md.translog...),
 	}, true
 }
@@ -262,18 +275,22 @@ func (m *Manager) HealthLog() []DeviceHealthLog {
 	return out
 }
 
-// Metrics returns the fleet-wide aggregate: summed counters and latency
-// percentiles merged across every device's window. Quarantined (and
-// mid-probe) devices still contribute their counters and latencies,
-// but are excluded from the fleet accuracy figures and counted in the
-// UnhealthyDevices gauge instead.
+// Metrics returns the fleet-wide aggregate: summed counters and
+// latency percentiles computed from the merge of every device's
+// histogram buckets (no samples are copied or sorted). Quarantined
+// (and mid-probe) devices still contribute their counters and
+// latencies, but are excluded from the fleet accuracy figures and
+// counted in the UnhealthyDevices gauge instead. As a side effect the
+// fleet-level registry gauges are refreshed, so the daemon's
+// Prometheus endpoint calls Metrics before exposition.
 func (m *Manager) Metrics() Metrics {
 	var c, acc Counters
-	var merged stats.Sample
+	var merged obs.HistogramSnapshot
 	unhealthy := 0
 	for _, id := range m.order {
 		md := m.devs[id]
 		md.mu.Lock()
+		md.flushObsLocked()
 		devCounters := md.counters()
 		c = c.add(devCounters)
 		if md.health == Quarantined || md.health == Recovering {
@@ -281,11 +298,12 @@ func (m *Manager) Metrics() Metrics {
 		} else {
 			acc = acc.add(devCounters)
 		}
-		for _, v := range md.stats.lats {
-			merged.Add(v)
-		}
+		merged.Merge(md.stats.lat.Snapshot())
 		md.mu.Unlock()
 	}
+	m.gDevices.Set(int64(len(m.order)))
+	m.gShards.Set(int64(m.cfg.Shards))
+	m.gUnhealthy.Set(int64(unhealthy))
 	return Metrics{
 		Devices:          len(m.order),
 		Shards:           m.cfg.Shards,
@@ -294,6 +312,11 @@ func (m *Manager) Metrics() Metrics {
 		HLRate:           c.HLRate(),
 		HLAccuracy:       acc.HLAccuracy(),
 		NLAccuracy:       acc.NLAccuracy(),
-		Latency:          summarize(&merged),
+		Latency:          summarize(merged),
 	}
 }
+
+// Registry returns the metrics registry the fleet records into — the
+// one passed in Config.Registry, or the private default. The daemon
+// serves it at GET /metrics.
+func (m *Manager) Registry() *obs.Registry { return m.cfg.Registry }

@@ -5,113 +5,153 @@ import (
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/simclock"
-	"ssdcheck/internal/stats"
 )
 
-// latencyWindow bounds the per-device latency reservoir so a
-// long-running fleet does not grow without bound: percentiles are
-// computed over the most recent latencyWindow observations.
-const latencyWindow = 1 << 15
+// statKind indexes one per-device tally in deviceStats.
+type statKind int
 
-// deviceStats is the streaming per-device tally. It is written by the
-// owning shard and read by metrics snapshots, always under the
-// managedDevice mutex.
+const (
+	statReads statKind = iota
+	statWrites
+	statTrims
+	statPredictedHL // requests flagged HL before submission
+	statObservedHL  // requests measured HL
+	statHLHits      // observed-HL requests that were predicted HL
+	statNLHits      // observed-NL requests that were predicted NL
+	statBytes       // payload bytes moved
+
+	// Resilience tallies. reads+writes+trims counts only served
+	// completions; errors and rejected cover the other ways a routed
+	// request ends.
+	statErrors      // exhausted-retry and fail-stop failures
+	statRejected    // bounced off a quarantined device
+	statRetries     // transient-error retries consumed
+	statTimeouts    // served completions at/over the request deadline
+	statProbes      // recovery-probe attempts
+	statTransitions // health state-machine edges taken
+
+	numStats
+)
+
+// deviceStats is the streaming per-device tally. The counters are kept
+// two ways: plain shard-local values written under the managedDevice
+// mutex — so the request hot path pays no atomic operations for them —
+// and registry series the tallies are flushed into whenever the device
+// is read (snapshot, fleet metrics, health report). The daemon's
+// Prometheus handler refreshes via Manager.Metrics before rendering,
+// so exposition always sees exact values. The latency histogram is the
+// exception: it records straight into the registry (two atomic adds
+// per request) so quantile snapshots and exposition share one set of
+// buckets.
 type deviceStats struct {
-	requests, reads, writes, trims int64
+	vals    [numStats]int64 // plain tallies, owned by the shard under md.mu
+	flushed [numStats]int64 // portion already pushed into series
+	series  [numStats]*obs.Counter
 
-	predictedHL int64 // requests flagged HL before submission
-	observedHL  int64 // requests measured HL
-	hlHits      int64 // observed-HL requests that were predicted HL
-	nlHits      int64 // observed-NL requests that were predicted NL
+	// lat holds every served completion's latency; percentiles are
+	// computed from its buckets, identically at any shard count.
+	lat *obs.Histogram
+}
 
-	bytes int64 // payload bytes moved
-
-	// Resilience tallies. requests counts only served completions;
-	// errors and rejected cover the other ways a routed request ends.
-	errors   int64 // exhausted-retry and fail-stop failures
-	rejected int64 // bounced off a quarantined device
-	retries  int64 // transient-error retries consumed
-	timeouts int64 // served completions at/over the request deadline
-	probes   int64 // recovery-probe attempts
-
-	// lats is a ring of the last latencyWindow latencies (ns).
-	lats []float64
-	next int
-	full bool
+// newDeviceStats registers (or re-binds) the device's metric series.
+func newDeviceStats(reg *obs.Registry, id string) deviceStats {
+	dev := obs.Label{Name: "device", Value: id}
+	op := func(o string) *obs.Counter {
+		return reg.Counter("ssdcheck_requests_total",
+			"Served requests by device and operation.", dev, obs.Label{Name: "op", Value: o})
+	}
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help, dev) }
+	d := deviceStats{
+		lat: reg.Histogram("ssdcheck_request_latency_seconds",
+			"Served request latency on the device's virtual clock.", dev),
+	}
+	d.series[statReads] = op("read")
+	d.series[statWrites] = op("write")
+	d.series[statTrims] = op("trim")
+	d.series[statPredictedHL] = c("ssdcheck_predicted_hl_total", "Requests predicted high-latency before submission.")
+	d.series[statObservedHL] = c("ssdcheck_observed_hl_total", "Requests measured high-latency.")
+	d.series[statHLHits] = c("ssdcheck_hl_hits_total", "Observed-HL requests that were predicted HL.")
+	d.series[statNLHits] = c("ssdcheck_nl_hits_total", "Observed-NL requests that were predicted NL.")
+	d.series[statBytes] = c("ssdcheck_bytes_total", "Payload bytes moved.")
+	d.series[statErrors] = c("ssdcheck_request_errors_total", "Requests failed after exhausting retries, or fail-stop.")
+	d.series[statRejected] = c("ssdcheck_requests_rejected_total", "Requests bounced off a quarantined device.")
+	d.series[statRetries] = c("ssdcheck_request_retries_total", "Transient-error retries consumed.")
+	d.series[statTimeouts] = c("ssdcheck_request_timeouts_total", "Served completions at or over the request deadline.")
+	d.series[statProbes] = c("ssdcheck_recovery_probes_total", "Recovery-probe attempts.")
+	d.series[statTransitions] = c("ssdcheck_health_transitions_total", "Health state-machine edges taken.")
+	return d
 }
 
 func (d *deviceStats) record(req blockdev.Request, predHL bool, lat time.Duration, obsHL bool) {
-	d.requests++
 	switch req.Op {
 	case blockdev.Read:
-		d.reads++
+		d.vals[statReads]++
 	case blockdev.Write:
-		d.writes++
+		d.vals[statWrites]++
 	case blockdev.Trim:
-		d.trims++
+		d.vals[statTrims]++
 	}
 	if predHL {
-		d.predictedHL++
+		d.vals[statPredictedHL]++
 	}
 	if obsHL {
-		d.observedHL++
+		d.vals[statObservedHL]++
 		if predHL {
-			d.hlHits++
+			d.vals[statHLHits]++
 		}
 	} else if !predHL {
-		d.nlHits++
+		d.vals[statNLHits]++
 	}
-	d.bytes += int64(req.Bytes())
+	d.vals[statBytes] += int64(req.Bytes())
+	d.lat.Observe(lat)
+}
 
-	if d.lats == nil {
-		d.lats = make([]float64, 0, 1024)
-	}
-	if len(d.lats) < latencyWindow {
-		d.lats = append(d.lats, float64(lat))
-	} else {
-		d.lats[d.next] = float64(lat)
-		d.next++
-		if d.next == latencyWindow {
-			d.next = 0
-			d.full = true
+// flushLocked publishes the plain tallies into their registry series.
+// Counters are monotone, so pushing the delta since the last flush
+// lands the series exactly on the tally. Callers hold md.mu.
+func (d *deviceStats) flushLocked() {
+	for k := range d.vals {
+		if delta := d.vals[k] - d.flushed[k]; delta > 0 {
+			d.series[k].Add(delta)
+			d.flushed[k] = d.vals[k]
 		}
 	}
 }
 
-// sample copies the latency window into a stats.Sample for
-// order-statistic queries.
-func (d *deviceStats) sample() *stats.Sample {
-	var s stats.Sample
-	for _, v := range d.lats {
-		s.Add(v)
-	}
-	return &s
+// requests returns the served-completion count (every record() call).
+func (d *deviceStats) requests() int64 {
+	return d.vals[statReads] + d.vals[statWrites] + d.vals[statTrims]
 }
 
-// LatencySummary is a percentile digest over a latency window.
+// LatencySummary is a percentile digest computed from the latency
+// histogram's buckets — it covers every served request, not a window,
+// and is identical across shard counts.
 type LatencySummary struct {
 	Samples int           `json:"samples"`
 	Mean    time.Duration `json:"mean_ns"`
 	P50     time.Duration `json:"p50_ns"`
+	P90     time.Duration `json:"p90_ns"`
 	P99     time.Duration `json:"p99_ns"`
 	P999    time.Duration `json:"p999_ns"`
 	Max     time.Duration `json:"max_ns"`
 }
 
-func summarize(s *stats.Sample) LatencySummary {
+func summarize(s obs.HistogramSnapshot) LatencySummary {
 	return LatencySummary{
-		Samples: s.Len(),
-		Mean:    time.Duration(s.Mean()),
-		P50:     time.Duration(s.Percentile(50)),
-		P99:     time.Duration(s.Percentile(99)),
-		P999:    time.Duration(s.Percentile(99.9)),
-		Max:     time.Duration(s.Max()),
+		Samples: int(s.Count),
+		Mean:    s.Mean(),
+		P50:     s.Quantile(0.50),
+		P90:     s.Quantile(0.90),
+		P99:     s.Quantile(0.99),
+		P999:    s.Quantile(0.999),
+		Max:     s.MaxValue(),
 	}
 }
 
-// Counters is the exact-count half of a stats snapshot (unlike the
-// latency percentiles, these cover every request ever processed).
+// Counters is the exact-count half of a stats snapshot (these cover
+// every request ever processed).
 type Counters struct {
 	Requests    int64 `json:"requests"`
 	Reads       int64 `json:"reads"`
@@ -221,42 +261,42 @@ type Metrics struct {
 func (md *managedDevice) snapshot() DeviceSnapshot {
 	md.mu.Lock()
 	defer md.mu.Unlock()
-	s := md.stats.sample()
+	md.flushObsLocked()
+	c := md.counters()
 	return DeviceSnapshot{
 		ID:               md.id,
 		Device:           md.name,
 		Preset:           md.spec.Preset,
 		Shard:            md.shard,
 		Health:           md.health,
-		Counters:         md.counters(),
-		HLRate:           md.counters().HLRate(),
-		HLAccuracy:       md.counters().HLAccuracy(),
-		NLAccuracy:       md.counters().NLAccuracy(),
-		Latency:          summarize(s),
+		Counters:         c,
+		HLRate:           c.HLRate(),
+		HLAccuracy:       c.HLAccuracy(),
+		NLAccuracy:       c.NLAccuracy(),
+		Latency:          summarize(md.stats.lat.Snapshot()),
 		PredictorEnabled: md.enabled,
 		Model:            md.model,
 		Clock:            md.clock,
 	}
 }
 
-// counters converts the internal tally to the exported form. Callers
-// hold md.mu.
+// counters converts the internal tally to the exported form.
 func (md *managedDevice) counters() Counters {
 	d := &md.stats
 	return Counters{
-		Requests:    d.requests,
-		Reads:       d.reads,
-		Writes:      d.writes,
-		Trims:       d.trims,
-		PredictedHL: d.predictedHL,
-		ObservedHL:  d.observedHL,
-		HLHits:      d.hlHits,
-		NLHits:      d.nlHits,
-		Bytes:       d.bytes,
-		Errors:      d.errors,
-		Rejected:    d.rejected,
-		Retries:     d.retries,
-		Timeouts:    d.timeouts,
-		Probes:      d.probes,
+		Requests:    d.requests(),
+		Reads:       d.vals[statReads],
+		Writes:      d.vals[statWrites],
+		Trims:       d.vals[statTrims],
+		PredictedHL: d.vals[statPredictedHL],
+		ObservedHL:  d.vals[statObservedHL],
+		HLHits:      d.vals[statHLHits],
+		NLHits:      d.vals[statNLHits],
+		Bytes:       d.vals[statBytes],
+		Errors:      d.vals[statErrors],
+		Rejected:    d.vals[statRejected],
+		Retries:     d.vals[statRetries],
+		Timeouts:    d.vals[statTimeouts],
+		Probes:      d.vals[statProbes],
 	}
 }

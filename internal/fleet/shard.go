@@ -10,6 +10,7 @@ import (
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/faults"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/simclock"
 	"ssdcheck/internal/trace"
 )
@@ -31,6 +32,13 @@ type managedDevice struct {
 	pr       *core.Predictor
 	now      simclock.Time // per-device virtual clock
 	rng      *simclock.RNG // retry jitter + recovery-probe addresses
+
+	// rec receives sampled request traces and health events; never nil
+	// (defaults to obs.Nop()). healthG/clockG mirror the device's
+	// state into registry gauges.
+	rec     obs.Recorder
+	healthG *obs.Gauge
+	clockG  *obs.Gauge
 
 	mu    sync.Mutex
 	stats deviceStats
@@ -70,18 +78,43 @@ func (md *managedDevice) init(cfg Config) error {
 		}
 	}
 	md.pr = core.NewPredictor(feats, md.spec.Params)
+	md.pr.SetRecorder(md.rec, md.id)
 	md.rng = simclock.NewRNG(md.spec.Seed ^ 0x5afe) // device-private resilience stream
 	md.publish()
 	return nil
 }
 
+// opName renders the op for wire formats and traces.
+func opName(op blockdev.Op) string {
+	switch op {
+	case blockdev.Read:
+		return "read"
+	case blockdev.Write:
+		return "write"
+	case blockdev.Trim:
+		return "trim"
+	}
+	return "unknown"
+}
+
 // process runs one request through the resilience pipeline on the
 // device's virtual clock: quarantine check (with deterministic
 // recovery probing), predict, submit with bounded retry, deadline
-// classification, observe, record.
+// classification, observe, record. When the request is sampled, every
+// stage leaves a span stamped with virtual-clock instants, so the
+// recorded trace is a deterministic function of the request stream.
 func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	md.mu.Lock()
 	md.seq++
+	seq := md.seq
+	sampled := md.rec.Sampled(md.id, seq)
+	var spans []obs.Span
+	span := func(name string, start, end simclock.Time) {
+		if sampled {
+			spans = append(spans, obs.Span{Name: name, Start: start, End: end})
+		}
+	}
+	span("queue", md.now, md.now)
 	if md.health == Quarantined {
 		md.rejections++
 		probeDue := cfg.Health.ProbeAfterRejections > 0 && md.rejections >= int64(cfg.Health.ProbeAfterRejections)
@@ -91,9 +124,12 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		}
 		md.mu.Lock()
 		if md.health == Quarantined {
-			md.stats.rejected++
+			md.stats.vals[statRejected]++
 			md.mu.Unlock()
-			return errResult(md.id, fmt.Errorf("device %q: %w", md.id, ErrDeviceQuarantined))
+			res := errResult(md.id, fmt.Errorf("device %q: %w", md.id, ErrDeviceQuarantined))
+			span("route", md.now, md.now)
+			md.recordTrace(req, seq, sampled, spans, core.Prediction{}, res)
+			return res
 		}
 		// A probe pass put the device back in service in time to take
 		// this very request.
@@ -101,8 +137,10 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	} else {
 		md.mu.Unlock()
 	}
+	span("route", md.now, md.now)
 
 	pred := md.pr.Predict(req, md.now)
+	span("predict", md.now, md.now)
 
 	// Submit with bounded retry: transient failures back off
 	// exponentially (with seeded jitter) on the virtual clock and try
@@ -113,7 +151,12 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	var err error
 	for {
 		done, err = md.submitChecked(req, submitAt)
-		if err == nil || !errors.Is(err, blockdev.ErrTransient) || retries >= cfg.Retry.MaxRetries {
+		if err == nil {
+			span("submit", submitAt, done)
+			break
+		}
+		span("submit", submitAt, submitAt)
+		if !errors.Is(err, blockdev.ErrTransient) || retries >= cfg.Retry.MaxRetries {
 			break
 		}
 		d := cfg.Retry.Backoff << retries
@@ -123,6 +166,7 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		if cfg.Retry.Jitter > 0 {
 			d = time.Duration(float64(d) * (1 - cfg.Retry.Jitter*md.rng.Float64()))
 		}
+		span("backoff", submitAt, submitAt.Add(d))
 		retries++
 		submitAt = submitAt.Add(d)
 	}
@@ -132,11 +176,12 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		res := errResult(md.id, fmt.Errorf("device %q: %w", md.id, err))
 		res.HL, res.EET, res.Retries = pred.HL, pred.EET, retries
 		md.mu.Lock()
-		md.stats.errors++
-		md.stats.retries += int64(retries)
+		md.stats.vals[statErrors]++
+		md.stats.vals[statRetries] += int64(retries)
 		md.noteOutcomeLocked(err, false, cfg.Health)
 		md.publishLocked()
 		md.mu.Unlock()
+		md.recordTrace(req, seq, sampled, spans, pred, res)
 		return res
 	}
 
@@ -147,6 +192,7 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		// stuck or storming device would otherwise poison the
 		// calibrator it needs for recovery.
 		md.pr.Observe(req, submitAt, done)
+		span("calibrate", done, done)
 	}
 	res := Result{
 		DeviceID:    md.id,
@@ -162,26 +208,65 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 
 	md.mu.Lock()
 	md.stats.record(req, pred.HL, lat, res.ObservedHL)
-	md.stats.retries += int64(retries)
+	md.stats.vals[statRetries] += int64(retries)
 	if timedOut {
-		md.stats.timeouts++
+		md.stats.vals[statTimeouts]++
 	}
 	md.noteOutcomeLocked(nil, timedOut, cfg.Health)
 	md.publishLocked()
 	md.mu.Unlock()
+	md.recordTrace(req, seq, sampled, spans, pred, res)
 	return res
+}
+
+// recordTrace assembles and stores the sampled request trace. It runs
+// on the owning shard goroutine, outside md.mu.
+func (md *managedDevice) recordTrace(req blockdev.Request, seq int64, sampled bool, spans []obs.Span, pred core.Prediction, res Result) {
+	if !sampled {
+		return
+	}
+	md.rec.RecordTrace(obs.RequestTrace{
+		Device:      md.id,
+		Seq:         seq,
+		Op:          opName(req.Op),
+		LBA:         req.LBA,
+		Sectors:     req.Sectors,
+		PredictedHL: pred.HL,
+		ObservedHL:  res.ObservedHL,
+		EET:         pred.EET,
+		Latency:     res.Latency,
+		Retries:     res.Retries,
+		TimedOut:    res.TimedOut,
+		Err:         res.Error,
+		Spans:       spans,
+	})
 }
 
 func (md *managedDevice) publish() {
 	md.mu.Lock()
 	md.publishLocked()
+	md.flushObsLocked()
 	md.mu.Unlock()
 }
 
+// publishLocked refreshes the cached predictor state readers see. It
+// runs after every request, so it deliberately touches no atomics —
+// registry series catch up in flushObsLocked on the read side.
 func (md *managedDevice) publishLocked() {
 	md.enabled = md.pr.Enabled()
 	md.model = md.pr.State(0)
 	md.clock = md.now
+}
+
+// flushObsLocked pushes the device's plain tallies and state gauges
+// into the registry. Every read path (snapshot, fleet metrics, health
+// report) calls it under md.mu, so the registry is exact whenever it
+// is rendered; the daemon refreshes via Manager.Metrics before
+// Prometheus exposition.
+func (md *managedDevice) flushObsLocked() {
+	md.stats.flushLocked()
+	md.healthG.Set(int64(md.health))
+	md.clockG.Set(int64(md.now))
 }
 
 // errResult builds a failed per-request result, mirroring the error

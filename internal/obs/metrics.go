@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// metric is one registered series.
+type metric struct {
+	labels  string // rendered {k="v",...}, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// scale divides histogram nanosecond bounds on exposition so
+	// latency histograms follow the Prometheus seconds convention.
+	scale float64
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          map[string]*metric
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Lookup (Counter/Gauge/Histogram) takes a mutex
+// and should happen at setup time; the returned handles are lock-free
+// atomics for the hot path. The zero Registry is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels builds the deterministic {k="v"} suffix (sorted by
+// label name, values escaped).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns (creating if needed) the series for name+labels,
+// checking the family's type stays consistent.
+func (r *Registry) lookup(name, help, typ string, labels []Label) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	m := f.series[key]
+	if m == nil {
+		m = &metric{labels: key}
+		switch typ {
+		case "counter":
+			m.counter = &Counter{}
+		case "gauge":
+			m.gauge = &Gauge{}
+		case "histogram":
+			m.hist = &Histogram{}
+			m.scale = 1e9 // ns stored, seconds exposed
+		}
+		f.series[key] = m
+	}
+	return m
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. Calling again with the same name and labels returns the same
+// counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, "counter", labels).counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, "gauge", labels).gauge
+}
+
+// Histogram returns the latency histogram for name+labels, registering
+// it on first use. Observations are nanoseconds internally; exposition
+// follows the Prometheus convention of seconds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.lookup(name, help, "histogram", labels).hist
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Families appear in
+// registration order and series in sorted label order, so the output
+// layout is deterministic. Histograms emit only buckets that contain
+// observations (plus +Inf), which is valid exposition and keeps a
+// ~500-bucket histogram readable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type flatSeries struct {
+		labels string
+		m      *metric
+	}
+	type flatFamily struct {
+		name, help, typ string
+		series          []flatSeries
+	}
+	fams := make([]flatFamily, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		ff := flatFamily{name: f.name, help: f.help, typ: f.typ}
+		for k, m := range f.series {
+			ff.series = append(ff.series, flatSeries{labels: k, m: m})
+		}
+		sort.Slice(ff.series, func(i, j int) bool { return ff.series[i].labels < ff.series[j].labels })
+		fams = append(fams, ff)
+	}
+	r.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.m.counter.Value())
+			case "gauge":
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.m.gauge.Value())
+			case "histogram":
+				writeHistogram(bw, f.name, s.labels, s.m)
+			}
+		}
+	}
+	return bw.err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// seconds-unit le bounds, then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, m *metric) {
+	snap := m.hist.Snapshot()
+	// Re-render labels with le appended; labels is "" or "{...}".
+	bucketLabels := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, c := range snap.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		le := strconv.FormatFloat(float64(hi)/m.scale, 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), snap.Count)
+	sum := strconv.FormatFloat(float64(snap.Sum)/m.scale, 'g', -1, 64)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// errWriter remembers the first write error so the exposition loop can
+// stay unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // counters only go up
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+	var g Gauge
+	g.Set(42)
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("gauge = %d, want -7", got)
+	}
+}
+
+func TestRegistrySameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{"dev", "a"})
+	b := r.Counter("x_total", "help", Label{"dev", "a"})
+	if a != b {
+		t.Error("same name+labels returned different counters")
+	}
+	other := r.Counter("x_total", "help", Label{"dev", "b"})
+	if a == other {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in scrambled label order; exposition must sort.
+	r.Counter("reqs_total", "requests", Label{"dev", "b"}).Add(2)
+	r.Counter("reqs_total", "requests", Label{"dev", "a"}).Add(1)
+	r.Gauge("temp", "temperature").Set(31)
+	r.Histogram("lat_seconds", "latency", Label{"dev", "a"}).Observe(time.Millisecond)
+
+	var one, two strings.Builder
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two renders of the same registry differ")
+	}
+	out := one.String()
+	if !strings.Contains(out, `reqs_total{dev="a"} 1`) || !strings.Contains(out, `reqs_total{dev="b"} 2`) {
+		t.Errorf("counter series missing:\n%s", out)
+	}
+	if strings.Index(out, `dev="a"`) > strings.Index(out, `dev="b"`) {
+		t.Errorf("series not sorted by labels:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Errorf("histogram TYPE line missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", Label{"path", "a\\b\"c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\\b\"c\nd"`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+// TestHistogramExposition checks the cumulative-bucket invariants the
+// Prometheus format requires: non-decreasing bucket counts, +Inf equal
+// to _count, le bounds in increasing order, seconds units.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", Label{"dev", "a"})
+	for _, d := range []time.Duration{100 * time.Microsecond, 150 * time.Microsecond, 10 * time.Millisecond} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var prevCum int64
+	var prevLE float64
+	var infSeen bool
+	var count int64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_seconds_bucket"):
+			i := strings.Index(line, `le="`)
+			rest := line[i+4:]
+			le := rest[:strings.Index(rest, `"`)]
+			cum, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if cum < prevCum {
+				t.Errorf("cumulative count decreased: %q", line)
+			}
+			prevCum = cum
+			if le == "+Inf" {
+				infSeen = true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", le, err)
+			}
+			if bound <= prevLE {
+				t.Errorf("le bounds not increasing at %q", line)
+			}
+			if bound > 1 {
+				t.Errorf("le %v implausibly large: buckets must be in seconds", bound)
+			}
+			prevLE = bound
+		case strings.HasPrefix(line, "lat_seconds_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket")
+	}
+	if count != 3 || prevCum != 3 {
+		t.Errorf("count = %d, final cumulative = %d, want 3", count, prevCum)
+	}
+	if !strings.Contains(b.String(), "lat_seconds_sum") {
+		t.Error("no _sum line")
+	}
+}

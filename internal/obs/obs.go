@@ -1,0 +1,86 @@
+// Package obs is the observability subsystem: a lock-cheap metrics
+// registry (atomic counters, gauges, log-bucketed latency histograms
+// with Prometheus text-format exposition) and a per-request span tracer
+// with a deterministic seeded sampler.
+//
+// The package is a leaf: it imports only the standard library and
+// internal/simclock, so every layer of the stack (fleet, schedulers,
+// the core predictor) can record into it without creating dependency
+// cycles, and none of them needs to know about the daemon that exports
+// the data over HTTP.
+//
+// Instrumented packages record through the narrow Recorder interface.
+// The no-op recorder returned by Nop makes every instrumentation site
+// free when observability is off: Sampled reports false before any
+// trace is built, so the hot path allocates nothing.
+//
+// Determinism: like everything else in this repository, traces are
+// reproducible. Span timestamps come from the virtual clock, and the
+// sampler hashes (seed, device, sequence number) instead of consulting
+// a shared RNG, so the set of sampled requests — and the exported
+// bytes — are identical across runs and shard counts.
+package obs
+
+// Recorder is the narrow instrumentation surface internal packages
+// record into. Implementations must be safe for concurrent use.
+//
+// The split between Sampled and RecordTrace keeps unsampled requests
+// allocation-free: callers ask Sampled first and only build the
+// RequestTrace (spans and all) when it returns true.
+type Recorder interface {
+	// Sampled reports whether request number seq on the named device
+	// should be traced. The decision must be a pure function of its
+	// arguments (plus fixed configuration) so traces reproduce.
+	Sampled(device string, seq int64) bool
+
+	// RecordTrace stores one completed request trace. Callers only
+	// invoke it for requests Sampled said yes to.
+	RecordTrace(t RequestTrace)
+
+	// Event counts one occurrence of a named event (a calibration
+	// reset, a health transition, a scheduler promotion) attributed to
+	// a subject such as a device ID.
+	Event(name, subject string)
+}
+
+// nopRecorder drops everything. Sampled returning false means
+// instrumented hot paths never even build a trace.
+type nopRecorder struct{}
+
+func (nopRecorder) Sampled(string, int64) bool { return false }
+func (nopRecorder) RecordTrace(RequestTrace)   {}
+func (nopRecorder) Event(string, string)       {}
+
+// Nop returns the recorder that records nothing at zero cost. It is
+// the default everywhere a Recorder is optional.
+func Nop() Recorder { return nopRecorder{} }
+
+// Observer bundles a metrics registry and a tracer into a Recorder:
+// trace sampling goes to the tracer, events become counters in the
+// registry (ssdcheck_events_total{event,subject}). Either half may be
+// nil; the corresponding records are dropped.
+type Observer struct {
+	Reg *Registry
+	Tr  *Tracer
+}
+
+// Sampled implements Recorder.
+func (o Observer) Sampled(device string, seq int64) bool {
+	return o.Tr != nil && o.Tr.Sampled(device, seq)
+}
+
+// RecordTrace implements Recorder.
+func (o Observer) RecordTrace(t RequestTrace) {
+	if o.Tr != nil {
+		o.Tr.RecordTrace(t)
+	}
+}
+
+// Event implements Recorder.
+func (o Observer) Event(name, subject string) {
+	if o.Reg != nil {
+		o.Reg.Counter("ssdcheck_events_total",
+			"Named observability events (calibration, health, scheduling).",
+			Label{"event", name}, Label{"subject", subject}).Inc()
+	}
+}

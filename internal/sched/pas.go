@@ -6,6 +6,7 @@ import (
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/host"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/simclock"
 )
 
@@ -56,7 +57,17 @@ type PAS struct {
 	name string
 	pred ReadPredictor
 	q    list.List // of host.Item, arrival order
+
+	// rec, when set, receives dispatch events: "pas_promote" every
+	// time a predicted-HL read jumps the write queue. nil stays
+	// silent.
+	rec obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder so promotion
+// decisions are counted (event "pas_promote", subject = scheduler
+// name).
+func (p *PAS) SetRecorder(rec obs.Recorder) { p.rec = rec }
 
 // NewPAS builds a PAS fed by SSDcheck's prediction engine.
 func NewPAS(p *core.Predictor) *PAS {
@@ -118,6 +129,9 @@ func (p *PAS) Next(now simclock.Time) (host.Item, bool) {
 		p.pred.PredictHL(oldestRead.Value.(host.Item).Req, now, pendingWritePages) {
 		it := oldestRead.Value.(host.Item)
 		p.q.Remove(oldestRead)
+		if p.rec != nil {
+			p.rec.Event("pas_promote", p.name)
+		}
 		return it, true
 	}
 	p.q.Remove(front)

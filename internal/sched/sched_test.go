@@ -8,6 +8,7 @@ import (
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/host"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/simclock"
 	"ssdcheck/internal/ssd"
 	"ssdcheck/internal/trace"
@@ -306,5 +307,34 @@ func TestPASRespectsBarriers(t *testing.T) {
 	it, _ = p.Next(6)
 	if it.Seq != 2 {
 		t.Fatalf("read lost after barrier: seq %d", it.Seq)
+	}
+}
+
+// TestPASRecordsPromotions: with a recorder attached, every promotion
+// decision is counted as a "pas_promote" event attributed to the
+// scheduler's name; plain FIFO dispatches stay silent.
+func TestPASRecordsPromotions(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewIdealPAS(func(blockdev.Request, simclock.Time, int) bool { return true })
+	p.SetRecorder(obs.Observer{Reg: reg})
+
+	p.Add(item(1, blockdev.Write, 0))
+	p.Add(item(2, blockdev.Read, 1))
+	if it, _ := p.Next(5); it.Req.Op != blockdev.Read {
+		t.Fatal("HL read not promoted")
+	}
+	promotions := reg.Counter("ssdcheck_events_total", "",
+		obs.Label{Name: "event", Value: "pas_promote"},
+		obs.Label{Name: "subject", Value: "ideal"})
+	if got := promotions.Value(); got != 1 {
+		t.Fatalf("pas_promote count = %d, want 1", got)
+	}
+
+	// The remaining write dispatches FIFO — no new event.
+	if it, ok := p.Next(6); !ok || it.Req.Op != blockdev.Write {
+		t.Fatal("write not dispatched")
+	}
+	if got := promotions.Value(); got != 1 {
+		t.Fatalf("pas_promote count after FIFO dispatch = %d, want 1", got)
 	}
 }

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+)
+
+// TestReadRequestsErrorMessages pins down the parser's failure modes:
+// each malformed input is rejected with an error naming the offending
+// 1-based line (comments and blanks still count lines, so editors can
+// jump straight to the problem) and quoting the bad field.
+func TestReadRequestsErrorMessages(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []string // substrings the error must carry
+	}{
+		{"unknown op letter", "R 0 8\nX 0 8", []string{"line 2", `unknown op "X"`}},
+		{"op is a word", "ERASE 0 8", []string{"line 1", `unknown op "ERASE"`}},
+		{"negative lba", "R -4096 8", []string{"line 1", `bad lba "-4096"`}},
+		{"lba overflows int64", "R 9223372036854775808 8", []string{"line 1", "bad lba"}},
+		{"non-numeric lba", "R abc 8", []string{"line 1", `bad lba "abc"`}},
+		{"float lba", "R 1.5 8", []string{"line 1", "bad lba"}},
+		{"zero sectors", "R 0 0", []string{"line 1", `bad sector count "0"`}},
+		{"negative sectors", "R 0 -8", []string{"line 1", `bad sector count "-8"`}},
+		{"sectors overflow int", "R 0 99999999999999999999", []string{"line 1", "bad sector count"}},
+		{"non-numeric sectors", "R 0 many", []string{"line 1", `bad sector count "many"`}},
+		{"missing sectors", "R 0", []string{"line 1", "want 'op lba sectors'"}},
+		{"op alone", "W", []string{"line 1", "want 'op lba sectors'"}},
+		{"error after comments counts all lines", "# header\n\nR 0 8\nQ 1 2", []string{"line 4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadRequests(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("input %q accepted", tc.input)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestReadRequestsLenient covers the inputs the parser must tolerate:
+// comments (also indented), blank and whitespace-only lines, CRLF
+// endings, mixed-case op words, padded columns, and trailing fields
+// (real blkparse dumps carry timestamps and PIDs after the sector
+// count — the parser takes the first three fields and ignores the
+// rest).
+func TestReadRequestsLenient(t *testing.T) {
+	input := "# comment\r\n" +
+		"   # indented comment\n" +
+		"\n" +
+		"   \t \n" +
+		"r 0 8\r\n" +
+		"WRITE 4096 16\n" +
+		"  T   128   8  \n" +
+		"Read 8 8 1699881600.123 4096\n" // trailing blkparse-ish fields
+	got, err := ReadRequests(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []blockdev.Request{
+		{Op: blockdev.Read, LBA: 0, Sectors: 8},
+		{Op: blockdev.Write, LBA: 4096, Sectors: 16},
+		{Op: blockdev.Trim, LBA: 128, Sectors: 8},
+		{Op: blockdev.Read, LBA: 8, Sectors: 8},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d requests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadRequestsEmpty: an empty reader (or all comments) is a valid
+// empty trace, not an error.
+func TestReadRequestsEmpty(t *testing.T) {
+	for _, input := range []string{"", "\n\n", "# only comments\n# here\n"} {
+		got, err := ReadRequests(strings.NewReader(input))
+		if err != nil {
+			t.Errorf("input %q: %v", input, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("input %q parsed %d requests", input, len(got))
+		}
+	}
+}
+
+// TestReadRequestsStopsAtError: requests before the bad line are not
+// returned — the parse is all-or-nothing so a replay can never run a
+// silently truncated workload.
+func TestReadRequestsStopsAtError(t *testing.T) {
+	reqs, err := ReadRequests(strings.NewReader("R 0 8\nR 8 8\nbogus line here\n"))
+	if err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if reqs != nil {
+		t.Errorf("partial parse returned %d requests alongside the error", len(reqs))
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"ssdcheck/internal/host"
 	"ssdcheck/internal/lvm"
 	"ssdcheck/internal/nvm"
+	"ssdcheck/internal/obs"
 	"ssdcheck/internal/sched"
 	"ssdcheck/internal/simclock"
 	"ssdcheck/internal/ssd"
@@ -322,6 +323,51 @@ var (
 func NewFaultInjector(dev Device, cfg FaultConfig) (*FaultInjector, error) {
 	return faults.New(dev, cfg)
 }
+
+// Observability (beyond the paper): a lock-cheap metrics registry with
+// Prometheus text exposition and a deterministic per-request span
+// tracer. Attach a Registry and Recorder to a FleetConfig to instrument
+// a fleet; cmd/ssdcheckd serves the results at /metrics and /v1/traces.
+// See internal/obs and examples/observability.
+type (
+	// MetricsRegistry holds named counters, gauges and latency
+	// histograms and renders Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// MetricsLabel is one name="value" pair on a metric series.
+	MetricsLabel = obs.Label
+	// LatencyHistogram is a fixed-memory log-bucketed histogram.
+	LatencyHistogram = obs.Histogram
+	// LatencySnapshot is a point-in-time histogram copy for quantile
+	// queries and merging.
+	LatencySnapshot = obs.HistogramSnapshot
+	// Recorder is the narrow instrumentation surface fleet, scheduler
+	// and predictor code records into.
+	Recorder = obs.Recorder
+	// Observer bundles a registry and a tracer into a Recorder.
+	Observer = obs.Observer
+	// Tracer samples per-request span traces deterministically.
+	Tracer = obs.Tracer
+	// RequestTrace is the recorded life of one sampled request.
+	RequestTrace = obs.RequestTrace
+	// TraceSpan is one named stage of a traced request.
+	TraceSpan = obs.Span
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer sampling the given fraction of requests
+// (deterministically, from the seed) into bounded per-device rings.
+func NewTracer(seed uint64, rate float64, perDevice int) *Tracer {
+	return obs.NewTracer(seed, rate, perDevice)
+}
+
+// NopRecorder returns the recorder that records nothing at zero cost.
+func NopRecorder() Recorder { return obs.Nop() }
+
+// WriteChromeTrace renders traces in the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto).
+var WriteChromeTrace = obs.WriteChromeTrace
 
 // Hybrid PAS with an NVM tier (paper §IV-B).
 type (
