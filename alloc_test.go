@@ -1,0 +1,84 @@
+// Zero-allocation guards for the simulator's hot path. The experiment
+// suite submits hundreds of millions of requests per run; the paper's
+// "prediction costs nanoseconds" claim (and the suite's wall-clock)
+// depend on the steady-state submit and predict paths never touching
+// the heap.
+package ssdcheck_test
+
+import (
+	"testing"
+	"time"
+
+	"ssdcheck"
+)
+
+// TestSubmitTaggedZeroAlloc pins single-region reads and writes on a
+// preconditioned device to zero allocations per request. The write path
+// includes its periodic buffer flushes and the GC they provoke: buffer,
+// free pool and mapping arrays are all preallocated, so even those
+// amortize to nothing.
+func TestSubmitTaggedZeroAlloc(t *testing.T) {
+	cfg, err := ssdcheck.Preset("A", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ssdcheck.NewSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := ssdcheck.Precondition(dev, 11, 1.2, 0)
+
+	reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, dev.CapacitySectors(), 12, 4096)
+	var reads, writes []ssdcheck.Request
+	for _, r := range reqs {
+		switch r.Op {
+		case ssdcheck.Read:
+			reads = append(reads, r)
+		case ssdcheck.Write:
+			writes = append(writes, r)
+		}
+	}
+
+	submit := func(stream []ssdcheck.Request) func() {
+		i := 0
+		return func() {
+			now, _ = dev.SubmitTagged(stream[i%len(stream)], now)
+			i++
+		}
+	}
+	if n := testing.AllocsPerRun(2000, submit(reads)); n != 0 {
+		t.Errorf("read SubmitTagged allocates %.2f objects per request, want 0", n)
+	}
+	if n := testing.AllocsPerRun(2000, submit(writes)); n != 0 {
+		t.Errorf("write SubmitTagged allocates %.2f objects per request, want 0", n)
+	}
+}
+
+// TestPredictZeroAlloc pins Predictor.Predict to zero allocations.
+func TestPredictZeroAlloc(t *testing.T) {
+	cfg, err := ssdcheck.Preset("A", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ssdcheck.NewSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := ssdcheck.Precondition(dev, 11, 1.2, 0)
+	feats, now, err := ssdcheck.Diagnose(dev, now, ssdcheck.DiagnosisOpts{
+		Seed: 11, MinBit: 16, MaxBit: 18, AllocWritesPerBit: 1500, GCIntervals: 12,
+		Thinktimes: []time.Duration{500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := ssdcheck.NewPredictor(feats, ssdcheck.PredictorParams{})
+	req := ssdcheck.Request{Op: ssdcheck.Read, LBA: 4096, Sectors: 8}
+	i := 0
+	if n := testing.AllocsPerRun(2000, func() {
+		_ = pr.Predict(req, now+ssdcheck.Time(i))
+		i++
+	}); n != 0 {
+		t.Errorf("Predict allocates %.2f objects per call, want 0", n)
+	}
+}

@@ -1,0 +1,145 @@
+// Command bench runs the repository's key benchmarks and writes the
+// parsed results as JSON, so performance numbers can be checked in and
+// compared across revisions (see BENCH_PR4.json and tools/bench.sh).
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out bench.json] [-benchtime 2s] [-count 1]
+//
+// It shells out to `go test -bench` in the repository root and parses
+// the standard benchmark output, including custom ReportMetric columns.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// keyBenchmarks are the performance gates this wrapper tracks: the two
+// hot-path microbenchmarks, fleet throughput, the diagnosis wall-clock,
+// and one full experiment regeneration.
+var keyBenchmarks = []string{
+	"BenchmarkDeviceSubmit",
+	"BenchmarkPredict",
+	"BenchmarkFleetSubmit",
+	"BenchmarkDiagnosis",
+	"BenchmarkFig03_PrototypeAblation",
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op"
+}
+
+// Output is the checked-in JSON document.
+type Output struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	BenchTime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "bench.json", "output JSON path (\"-\" for stdout)")
+	benchtime := flag.String("benchtime", "2s", "passed to go test -benchtime")
+	count := flag.Int("count", 1, "passed to go test -count")
+	flag.Parse()
+
+	pattern := "^(" + strings.Join(keyBenchmarks, "|") + ")$"
+	args := []string{
+		"test", "-run", "^$", "-bench", pattern, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".",
+	}
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go %s: %v\n%s%s", strings.Join(args, " "), err, stderr.String(), stdout.String())
+		os.Exit(1)
+	}
+
+	doc := Output{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		BenchTime: *benchtime,
+		Count:     *count,
+	}
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no benchmark lines parsed from go test output:\n%s", stdout.String())
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   12345   61.2 ns/op   0 B/op   0 allocs/op   1.5 extra/metric
+//
+// into a Result. Non-benchmark lines return ok=false.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       strings.SplitN(fields[0], "-", 2)[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Sub-benchmarks keep their /sub=... suffix but drop the -GOMAXPROCS.
+	if slash := strings.Index(fields[0], "/"); slash >= 0 {
+		base := fields[0][:slash]
+		rest := fields[0][slash:]
+		if dash := strings.LastIndex(rest, "-"); dash >= 0 {
+			rest = rest[:dash]
+		}
+		r.Name = base + rest
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

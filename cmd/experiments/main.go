@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	experiments -run all [-seed 42] [-scale 1.0]
+//	experiments -run all [-seed 42] [-scale 1.0] [-workers 8]
 //	experiments -run fig11
+//	experiments -run fig11,fig12,table1
 //	experiments -list
+//
+// Output is byte-identical at any -workers setting: every simulation
+// unit owns its seed, clock and RNG, and renders are printed in a
+// stable order regardless of completion order.
 package main
 
 import (
@@ -19,9 +24,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (see -list), or \"all\"")
+	run := flag.String("run", "all", "experiment(s) to run, comma-separated (see -list), or \"all\"")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "request-count scale factor")
+	workers := flag.Int("workers", 0, "max parallel simulation units (0 = GOMAXPROCS); output is identical at any setting")
 	list := flag.Bool("list", false, "list available experiments")
 	format := flag.String("format", "text", "output format: text or json (json requires a single -run)")
 	flag.Parse()
@@ -39,11 +45,12 @@ func main() {
 		return
 	}
 
-	o := experiments.Opts{Seed: *seed, Scale: *scale}
+	o := experiments.Opts{Seed: *seed, Scale: *scale, Workers: *workers}
+	names := strings.Split(*run, ",")
 	start := time.Now()
 	switch {
 	case *format == "json":
-		if *run == "all" {
+		if *run == "all" || len(names) > 1 {
 			fmt.Fprintln(os.Stderr, "experiments: -format json requires a single -run")
 			os.Exit(1)
 		}
@@ -54,7 +61,7 @@ func main() {
 	case *run == "all":
 		experiments.RunAll(o, os.Stdout)
 	default:
-		if err := experiments.Run(*run, o, os.Stdout); err != nil {
+		if err := experiments.RunMany(names, o, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -146,6 +146,35 @@ const (
 	CauseSecondary
 )
 
+// causeRank orders causes by severity for single-label reporting: GC
+// dominates everything, then secondary stalls, then the flush family.
+// Indexed by Cause; unknown causes rank lowest.
+var causeRank = [...]int8{
+	CauseNone:         0,
+	CauseFlush:        1,
+	CauseBackpressure: 2,
+	CauseReadTrigger:  3,
+	CauseSecondary:    4,
+	CauseGC:           5,
+}
+
+// WorseCause returns the more severe of two causes. A request that hits
+// several delay sources is reported under one label, exactly as the
+// paper attributes each high-latency event to its dominant mechanism.
+func WorseCause(a, b Cause) Cause {
+	ra, rb := int8(0), int8(0)
+	if int(a) < len(causeRank) {
+		ra = causeRank[a]
+	}
+	if int(b) < len(causeRank) {
+		rb = causeRank[b]
+	}
+	if rb > ra {
+		return b
+	}
+	return a
+}
+
 // String names the cause for reports.
 func (c Cause) String() string {
 	switch c {

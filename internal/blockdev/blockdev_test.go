@@ -31,6 +31,40 @@ func TestCauseString(t *testing.T) {
 	}
 }
 
+// TestWorseCauseOrder pins the full severity order single-label
+// reporting relies on: none < flush < backpressure < read-trigger <
+// secondary < gc, with unknown causes ranked below everything.
+func TestWorseCauseOrder(t *testing.T) {
+	bySeverity := []Cause{
+		CauseNone, CauseFlush, CauseBackpressure,
+		CauseReadTrigger, CauseSecondary, CauseGC,
+	}
+	for i, a := range bySeverity {
+		for j, b := range bySeverity {
+			want := a
+			if j > i {
+				want = b
+			}
+			if got := WorseCause(a, b); got != want {
+				t.Errorf("WorseCause(%v, %v)=%v want %v", a, b, got, want)
+			}
+			// Symmetry: the result must not depend on argument order.
+			if got := WorseCause(b, a); got != want {
+				t.Errorf("WorseCause(%v, %v)=%v want %v", b, a, got, want)
+			}
+		}
+	}
+	unknown := Cause(99)
+	for _, c := range bySeverity[1:] {
+		if got := WorseCause(unknown, c); got != c {
+			t.Errorf("WorseCause(unknown, %v)=%v want %v", c, got, c)
+		}
+	}
+	if got := WorseCause(CauseNone, unknown); got != CauseNone {
+		t.Errorf("WorseCause(none, unknown)=%v want none", got)
+	}
+}
+
 func TestRequestBytes(t *testing.T) {
 	r := Request{Op: Write, LBA: 0, Sectors: 8}
 	if r.Bytes() != 4096 {

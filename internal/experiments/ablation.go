@@ -68,39 +68,65 @@ func Ablation(o Opts) AblationResult {
 	n := o.n(40000)
 	var res AblationResult
 
-	for _, devName := range []string{"A", "D", "E"} {
-		for _, variant := range ablationVariants {
+	// Every (device, variant) cell and every sweep point diagnoses its own
+	// fresh device, so all of them fan out together. A failed diagnosis
+	// yields a nil row, which the in-order assembly skips — the same rows
+	// the serial loops emitted, in the same order.
+	ablDevs := []string{"A", "D", "E"}
+	quantiles := []float64{0.1, 0.25, 0.35, 0.5, 0.75, 0.9}
+	nv := len(ablationVariants)
+	rows := make([]*AblationRow, len(ablDevs)*nv)
+	points := make([]*GCQuantilePoint, len(quantiles))
+	units := make([]func(), 0, len(rows)+len(points))
+	for k := range rows {
+		k := k
+		units = append(units, func() {
+			devName, variant := ablDevs[k/nv], ablationVariants[k%nv]
 			seed := o.Seed + uint64(devName[0])*7
 			cfg, _ := ssd.Preset(devName, seed)
 			dev, feats, now, err := diagnosedDevice(cfg, seed)
 			if err != nil {
-				continue
+				return
 			}
 			pr := core.NewPredictor(feats, variant.p)
 			reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), seed+3, n)
 			rep := core.Evaluate(dev, pr, reqs, now)
-			res.Rows = append(res.Rows, AblationRow{
+			rows[k] = &AblationRow{
 				Device:  "SSD " + devName,
 				Variant: variant.name,
 				NL:      rep.NLAccuracy(),
 				HL:      rep.HLAccuracy(),
-			})
+			}
+		})
+	}
+	for k := range points {
+		k := k
+		units = append(units, func() {
+			seed := o.Seed + 1001
+			cfg, _ := ssd.Preset("A", seed)
+			dev, feats, now, err := diagnosedDevice(cfg, seed)
+			if err != nil {
+				return
+			}
+			pr := core.NewPredictor(feats, core.Params{GCQuantile: quantiles[k]})
+			reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), seed+3, n)
+			rep := core.Evaluate(dev, pr, reqs, now)
+			points[k] = &GCQuantilePoint{
+				Quantile: quantiles[k], NL: rep.NLAccuracy(), HL: rep.HLAccuracy(),
+			}
+		})
+	}
+	runParUnits(o, units)
+
+	for _, row := range rows {
+		if row != nil {
+			res.Rows = append(res.Rows, *row)
 		}
 	}
-
-	for _, q := range []float64{0.1, 0.25, 0.35, 0.5, 0.75, 0.9} {
-		seed := o.Seed + 1001
-		cfg, _ := ssd.Preset("A", seed)
-		dev, feats, now, err := diagnosedDevice(cfg, seed)
-		if err != nil {
-			continue
+	for _, p := range points {
+		if p != nil {
+			res.GCQuantileSweep = append(res.GCQuantileSweep, *p)
 		}
-		pr := core.NewPredictor(feats, core.Params{GCQuantile: q})
-		reqs := trace.Generate(trace.RWMixed, dev.CapacitySectors(), seed+3, n)
-		rep := core.Evaluate(dev, pr, reqs, now)
-		res.GCQuantileSweep = append(res.GCQuantileSweep, GCQuantilePoint{
-			Quantile: q, NL: rep.NLAccuracy(), HL: rep.HLAccuracy(),
-		})
 	}
 	return res
 }

@@ -45,22 +45,22 @@ func (r Fig04Result) Render(w io.Writer) {
 // and SSD D (two volumes, index 17).
 func Fig04(o Opts) Fig04Result {
 	o = o.WithDefaults()
-	var res Fig04Result
-	for _, name := range []string{"A", "D"} {
-		cfg, _ := ssd.Preset(name, o.Seed)
+	names := []string{"A", "D"}
+	devices := runPar(o, len(names), func(i int) Fig04Device {
+		cfg, _ := ssd.Preset(names[i], o.Seed)
 		dev, now := preparedDevice(cfg, o.Seed)
 		s := extract.NewSession(dev, now, o.Seed+1)
 		do := diagOpts(o.Seed).WithDefaults(dev.CapacitySectors())
 		extract.CalibrateThresholds(s)
 		scan := extract.ScanAllocationVolumes(s, do)
-		res.Devices = append(res.Devices, Fig04Device{
+		return Fig04Device{
 			Name:         dev.Name(),
 			BaselineMBps: scan.BaselineMBps,
 			Points:       scan.Points,
 			DetectedBits: scan.VolumeBits,
-		})
-	}
-	return res
+		}
+	})
+	return Fig04Result{Devices: devices}
 }
 
 // Fig05Result reproduces the GC-volume scan of Fig. 5: Fixed-pattern GC
@@ -97,9 +97,9 @@ func (r Fig05Result) Render(w io.Writer) {
 // Fig05 runs the GC-volume diagnosis on SSDs A, D and E.
 func Fig05(o Opts) Fig05Result {
 	o = o.WithDefaults()
-	var res Fig05Result
-	for _, name := range []string{"A", "D", "E"} {
-		cfg, _ := ssd.Preset(name, o.Seed)
+	names := []string{"A", "D", "E"}
+	devices := runPar(o, len(names), func(i int) Fig05Device {
+		cfg, _ := ssd.Preset(names[i], o.Seed)
 		dev, now := preparedDevice(cfg, o.Seed)
 		s := extract.NewSession(dev, now, o.Seed+2)
 		do := diagOpts(o.Seed).WithDefaults(dev.CapacitySectors())
@@ -111,16 +111,16 @@ func Fig05(o Opts) Fig05Result {
 		for _, iv := range scan.FixedIntervals {
 			ivs.Add(iv)
 		}
-		res.Devices = append(res.Devices, Fig05Device{
+		return Fig05Device{
 			Name:           dev.Name(),
 			FixedCDF:       ivs.CDF(16),
 			PValues:        scan.Points,
 			DetectedBits:   scan.VolumeBits,
 			GCOverheadMs:   float64(scan.Overhead) / 1e6,
 			FixedIntervals: len(scan.FixedIntervals),
-		})
-	}
-	return res
+		}
+	})
+	return Fig05Result{Devices: devices}
 }
 
 // Fig06Result reproduces the write-buffer profile of Fig. 6: periodic HL
@@ -201,18 +201,17 @@ func (r Table1Result) Render(w io.Writer) {
 // result against the simulator's ground truth.
 func Table1(o Opts) Table1Result {
 	o = o.WithDefaults()
-	var res Table1Result
-	for i, name := range ssd.PresetNames {
+	rows := runPar(o, len(ssd.PresetNames), func(i int) Table1Row {
+		name := ssd.PresetNames[i]
 		cfg, _ := ssd.Preset(name, o.Seed+uint64(i)*31)
-		dev, feats, _, err := diagnosedDevice(cfg, o.Seed+uint64(i)*17)
+		_, feats, _, err := diagnosedDevice(cfg, o.Seed+uint64(i)*17)
 		row := Table1Row{Device: "SSD " + name, Features: feats, Err: err}
 		if err == nil {
 			row.Match = matchGroundTruth(cfg, feats)
 		}
-		_ = dev
-		res.Rows = append(res.Rows, row)
-	}
-	return res
+		return row
+	})
+	return Table1Result{Rows: rows}
 }
 
 func matchGroundTruth(cfg ssd.Config, f *extract.Features) bool {
@@ -272,17 +271,17 @@ func (r Table2Result) Render(w io.Writer) {
 // Table2 characterizes a sample of every evaluation workload.
 func Table2(o Opts) Table2Result {
 	o = o.WithDefaults()
-	var res Table2Result
-	for _, spec := range trace.Workloads {
+	rows := runPar(o, len(trace.Workloads), func(i int) Table2Row {
+		spec := trace.Workloads[i]
 		reqs := trace.Generate(spec, 1<<20, o.Seed+5, o.n(40000))
 		ch := trace.Characterize(reqs)
-		res.Rows = append(res.Rows, Table2Row{
+		return Table2Row{
 			Name: spec.Name, Requests: spec.Requests,
 			WriteFrac: ch.WriteFrac, RandomFrac: ch.RandomFrac,
 			TargetWrite: spec.WriteFrac, TargetRnd: spec.RandomFrac,
-		})
-	}
-	return res
+		}
+	})
+	return Table2Result{Rows: rows}
 }
 
 // Table3Result reproduces Table III: the latency distribution of Web on

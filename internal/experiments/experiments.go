@@ -28,6 +28,16 @@ type Opts struct {
 	// Scale multiplies request counts (1.0 = the defaults used in
 	// EXPERIMENTS.md; benches use smaller scales).
 	Scale float64
+	// Workers bounds how many independent experiment units (devices,
+	// variants, cells) run concurrently; 0 means GOMAXPROCS. Results
+	// are always assembled in input order, so rendered output is
+	// byte-identical at any worker count.
+	Workers int
+
+	// pool, when non-nil, is a token pool shared across experiments
+	// running concurrently (RunMany), so the worker bound holds
+	// process-wide rather than per experiment.
+	pool chan struct{}
 }
 
 // WithDefaults fills zero fields.

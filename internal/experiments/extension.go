@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
 	"ssdcheck/internal/ssd"
 	"ssdcheck/internal/trace"
 )
@@ -48,8 +49,15 @@ func SLCExtension(o Opts) SLCExtensionResult {
 	var res SLCExtensionResult
 	res.GroundTruth = 8 * 64 // SLCBlocks x usable pages per block
 
+	// The diagnosis runs as a single pooled unit so that, when several
+	// experiments share a worker pool, this heavy preamble is bounded
+	// like any other unit.
 	cfg := ssd.PresetH(o.Seed)
-	_, feats, _, err := diagnosedDevice(cfg, o.Seed)
+	var feats *extract.Features
+	var err error
+	runParUnits(o, []func(){func() {
+		_, feats, _, err = diagnosedDevice(cfg, o.Seed)
+	}})
 	if err != nil {
 		res.DiagnosisFailed = true
 		return res
@@ -64,9 +72,14 @@ func SLCExtension(o Opts) SLCExtensionResult {
 		reqs := trace.Generate(trace.WriteBurst, dev.CapacitySectors(), o.Seed+7, o.n(40000))
 		return core.Evaluate(dev, pr, reqs, now)
 	}
-	full := run(core.Params{})
+	// Both runs read feats without mutating it, so they proceed in
+	// parallel against their own fresh devices.
+	var full, noGC core.AccuracyReport
+	runParUnits(o, []func(){
+		func() { full = run(core.Params{}) },
+		func() { noGC = run(core.Params{NoGCModel: true}) },
+	})
 	res.NLFull, res.HLFull = full.NLAccuracy(), full.HLAccuracy()
-	noGC := run(core.Params{NoGCModel: true})
 	res.NLNoGC, res.HLNoGC = noGC.NLAccuracy(), noGC.HLAccuracy()
 	return res
 }

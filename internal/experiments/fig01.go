@@ -43,9 +43,9 @@ func (r Fig01Result) Render(w io.Writer) {
 // fluctuation.
 func Fig01(o Opts) Fig01Result {
 	o = o.WithDefaults()
-	var res Fig01Result
-	for _, name := range []string{"A", "D", "F"} {
-		cfg, err := ssd.Preset(name, o.Seed)
+	names := []string{"A", "D", "F"}
+	devices := runPar(o, len(names), func(i int) Fig01Device {
+		cfg, err := ssd.Preset(names[i], o.Seed)
 		if err != nil {
 			panic(err)
 		}
@@ -59,7 +59,7 @@ func Fig01(o Opts) Fig01Result {
 			lat.Add(c.Latency().Sub(0).Seconds() * 1e6)
 			ts.Record(c.Done.Sub(now).Seconds(), c.Req.Bytes())
 		}
-		res.Devices = append(res.Devices, Fig01Device{
+		return Fig01Device{
 			Name:          dev.Name(),
 			CDF:           lat.CDF(40),
 			MedianUs:      lat.Percentile(50),
@@ -67,7 +67,7 @@ func Fig01(o Opts) Fig01Result {
 			P999Us:        lat.Percentile(99.9),
 			MeanMBps:      ts.Mean(),
 			ThroughputCoV: ts.CoefficientOfVariation(),
-		})
-	}
-	return res
+		}
+	})
+	return Fig01Result{Devices: devices}
 }

@@ -58,9 +58,13 @@ func Fig03(o Opts) Fig03Result {
 		ssd.ProtoGC(o.Seed), ssd.ProtoAll(o.Seed),
 	}
 	var res Fig03Result
-	var optimalTail float64
 
-	for _, cfg := range variants {
+	type variantRun struct {
+		v   Fig03Variant
+		log []blockdev.Completion // kept only for SSD_All's attribution
+	}
+	runs := runPar(o, len(variants), func(i int) variantRun {
+		cfg := variants[i]
 		dev, now := preparedDevice(cfg, o.Seed)
 		gen := trace.NewGenerator(randomWriteSpec(), dev.CapacitySectors(), o.Seed+3)
 
@@ -77,24 +81,35 @@ func Fig03(o Opts) Fig03Result {
 			t = done
 		}
 
-		v := Fig03Variant{
+		r := variantRun{v: Fig03Variant{
 			Name:            cfg.Name,
 			P995Us:          lat.Percentile(99.5),
 			P997Us:          lat.Percentile(99.7),
 			MeanMBps:        ts.Mean(),
 			ThroughputCoV:   ts.CoefficientOfVariation(),
 			MedianLatencyUs: lat.Percentile(50),
+		}}
+		if cfg.Name == "SSD_All" {
+			r.log = log
 		}
-		if cfg.Name == "SSD_Optimal" {
+		return r
+	})
+
+	// The vs-optimal ratios and the SSD_All attribution need the
+	// optimal variant's tail, so they happen in input order after the
+	// fan-out — exactly as the old serial loop computed them.
+	var optimalTail float64
+	for _, r := range runs {
+		v := r.v
+		if v.Name == "SSD_Optimal" {
 			optimalTail = v.P995Us
 		}
 		if optimalTail > 0 {
 			v.TailVsOptimal = v.P995Us / optimalTail
 		}
 		res.Variants = append(res.Variants, v)
-
-		if cfg.Name == "SSD_All" {
-			res.attribute(log)
+		if v.Name == "SSD_All" {
+			res.attribute(r.log)
 		}
 	}
 	return res

@@ -64,27 +64,45 @@ func Fig11(o Opts) Fig11Result {
 	}
 	n := o.n(40000)
 
+	// Every (device, workload) cell is independent: its seed depends
+	// only on the cell indices and it diagnoses a fresh device. Fan the
+	// whole grid out at once and assemble rows in order afterwards.
+	type cell struct {
+		nl, hl  float64
+		enabled bool
+		err     error
+	}
+	nw := len(trace.Workloads)
+	cells := runPar(o, len(ssd.PresetNames)*nw, func(k int) cell {
+		i, j := k/nw, k%nw
+		seed := o.Seed + uint64(i)*131 + uint64(j)*17
+		cfg, _ := ssd.Preset(ssd.PresetNames[i], seed)
+		dev, feats, now, err := diagnosedDevice(cfg, seed)
+		if err != nil {
+			return cell{err: err}
+		}
+		pr := core.NewPredictor(feats, core.Params{})
+		reqs := trace.Generate(trace.Workloads[j], dev.CapacitySectors(), seed+999, n)
+		rep := core.Evaluate(dev, pr, reqs, now)
+		return cell{nl: rep.NLAccuracy(), hl: rep.HLAccuracy(), enabled: pr.Enabled()}
+	})
+
 	for i, name := range ssd.PresetNames {
 		row := Fig11Device{Name: "SSD " + name, Enabled: true}
-		for j, spec := range trace.Workloads {
-			seed := o.Seed + uint64(i)*131 + uint64(j)*17
-			cfg, _ := ssd.Preset(name, seed)
-			dev, feats, now, err := diagnosedDevice(cfg, seed)
-			if err != nil {
-				row.DiagnosisErr = err
+		for j := range trace.Workloads {
+			c := cells[i*nw+j]
+			if c.err != nil {
+				row.DiagnosisErr = c.err
 				break
 			}
-			pr := core.NewPredictor(feats, core.Params{})
-			reqs := trace.Generate(spec, dev.CapacitySectors(), seed+999, n)
-			rep := core.Evaluate(dev, pr, reqs, now)
-			row.NL = append(row.NL, rep.NLAccuracy())
-			row.HL = append(row.HL, rep.HLAccuracy())
-			row.Enabled = row.Enabled && pr.Enabled()
+			row.NL = append(row.NL, c.nl)
+			row.HL = append(row.HL, c.hl)
+			row.Enabled = row.Enabled && c.enabled
 		}
 		if row.DiagnosisErr == nil {
-			for i := range row.NL {
-				row.MeanNL += row.NL[i]
-				row.MeanHL += row.HL[i]
+			for k := range row.NL {
+				row.MeanNL += row.NL[k]
+				row.MeanHL += row.HL[k]
 			}
 			row.MeanNL /= float64(len(row.NL))
 			row.MeanHL /= float64(len(row.HL))

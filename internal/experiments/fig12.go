@@ -83,31 +83,34 @@ func Fig12(o Opts) Fig12Result {
 
 	var res Fig12Result
 	res.MinTailPct = 1e18
-	for i, read := range trace.ReadIntensive {
-		for j, write := range trace.WriteIntensive {
-			seed := o.Seed + uint64(i)*37 + uint64(j)*113
-			linR, linW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewLinear(c, 2) }, seed)
-			vaR, vaW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewVolumeAware(c, []int{17}) }, seed)
+	nw := len(trace.WriteIntensive)
+	combos := runPar(o, len(trace.ReadIntensive)*nw, func(k int) Fig12Combo {
+		i, j := k/nw, k%nw
+		read, write := trace.ReadIntensive[i], trace.WriteIntensive[j]
+		seed := o.Seed + uint64(i)*37 + uint64(j)*113
+		linR, linW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewLinear(c, 2) }, seed)
+		vaR, vaW := run(read, write, func(c int64) lvm.Mapper { return lvm.NewVolumeAware(c, []int{17}) }, seed)
 
-			combo := Fig12Combo{
-				ReadWorkload:    read.Name,
-				WriteWorkload:   write.Name,
-				LinearReadMBps:  linR.ThroughputMBps(window),
-				VAReadMBps:      vaR.ThroughputMBps(window),
-				LinearTail:      linR.TailLatency(0.995),
-				VATail:          vaR.TailLatency(0.995),
-				WriteLinearMBps: linW.ThroughputMBps(window),
-				WriteVAMBps:     vaW.ThroughputMBps(window),
-			}
-			res.Combos = append(res.Combos, combo)
-			res.MeanGain += combo.ThroughputGain()
-			if g := combo.ThroughputGain(); g > res.MaxGain {
-				res.MaxGain = g
-			}
-			res.MeanTailPct += combo.TailPct()
-			if p := combo.TailPct(); p < res.MinTailPct {
-				res.MinTailPct = p
-			}
+		return Fig12Combo{
+			ReadWorkload:    read.Name,
+			WriteWorkload:   write.Name,
+			LinearReadMBps:  linR.ThroughputMBps(window),
+			VAReadMBps:      vaR.ThroughputMBps(window),
+			LinearTail:      linR.TailLatency(0.995),
+			VATail:          vaR.TailLatency(0.995),
+			WriteLinearMBps: linW.ThroughputMBps(window),
+			WriteVAMBps:     vaW.ThroughputMBps(window),
+		}
+	})
+	for _, combo := range combos {
+		res.Combos = append(res.Combos, combo)
+		res.MeanGain += combo.ThroughputGain()
+		if g := combo.ThroughputGain(); g > res.MaxGain {
+			res.MaxGain = g
+		}
+		res.MeanTailPct += combo.TailPct()
+		if p := combo.TailPct(); p < res.MinTailPct {
+			res.MinTailPct = p
 		}
 	}
 	n := float64(len(res.Combos))

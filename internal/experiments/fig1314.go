@@ -130,18 +130,20 @@ func (r Fig13Result) Render(w io.Writer) {
 func Fig13(o Opts) Fig13Result {
 	o = o.WithDefaults()
 	res := Fig13Result{Device: "SSD G", Workload: "Build"}
-	var samples []stats.Sample
-	for _, name := range []string{"noop", "deadline", "cfq", "pas"} {
-		open, _ := schedCell("G", trace.Build, name, o)
+	names := []string{"noop", "deadline", "cfq", "pas"}
+	samples := runPar(o, len(names), func(i int) stats.Sample {
+		open, _ := schedCell("G", trace.Build, names[i], o)
 		reads := host.FilterOp(open, blockdev.Read)
-		if name == "noop" {
+		if names[i] == "noop" {
 			res.MeasurePct = flushPercentile(reads)
 		}
 		var lat stats.Sample
 		for _, rec := range reads {
 			lat.Add(rec.Latency().Seconds() * 1e6)
 		}
-		samples = append(samples, lat)
+		return lat
+	})
+	for _, name := range names {
 		res.Schedulers = append(res.Schedulers, Fig13Sched{Name: name})
 	}
 	for i := range res.Schedulers {
@@ -199,17 +201,31 @@ func (r Fig14Result) Render(w io.Writer) {
 func Fig14(o Opts) Fig14Result {
 	o = o.WithDefaults()
 	var res Fig14Result
-	for _, spec := range []trace.Spec{trace.Build, trace.Exch, trace.Live} {
-		for _, devName := range []string{"F", "G"} {
+	specs := []trace.Spec{trace.Build, trace.Exch, trace.Live}
+	devNames := []string{"F", "G"}
+
+	// All (workload, device, scheduler) runs are independent; fan the
+	// whole 3x2x5 sweep out at once.
+	type cellRun struct {
+		reads  []host.Record
+		closed []host.Record
+	}
+	ns := len(schedulerNames)
+	nCells := len(specs) * len(devNames)
+	all := runPar(o, nCells*ns, func(k int) cellRun {
+		c, s := k/ns, k%ns
+		spec, devName := specs[c/len(devNames)], devNames[c%len(devNames)]
+		open, closed := schedCell(devName, spec, schedulerNames[s], o)
+		return cellRun{reads: host.FilterOp(open, blockdev.Read), closed: closed}
+	})
+
+	for ci := 0; ci < nCells; ci++ {
+		spec, devName := specs[ci/len(devNames)], devNames[ci%len(devNames)]
+		{
 			cell := Fig14Cell{Workload: spec.Name, Device: "SSD " + devName}
-			type cellRun struct {
-				reads  []host.Record
-				closed []host.Record
-			}
 			runs := map[string]cellRun{}
-			for _, schedName := range schedulerNames {
-				open, closed := schedCell(devName, spec, schedName, o)
-				runs[schedName] = cellRun{reads: host.FilterOp(open, blockdev.Read), closed: closed}
+			for s, schedName := range schedulerNames {
+				runs[schedName] = all[ci*ns+s]
 			}
 			cell.MeasurePct = flushPercentile(runs["noop"].reads)
 

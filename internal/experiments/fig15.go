@@ -102,24 +102,6 @@ func Fig15(o Opts) Fig15Result {
 			nvm.Config{Policy: policy, NVMBytes: nvmBytes, Seed: o.Seed + 2})
 		return nvm.Run(dev, pr, reqs, hcfg, now)
 	}
-	base := runTimeline(nvm.Baseline)
-	hyb := runTimeline(nvm.HybridPAS)
-	res.TimelineBaseline = base.Timeline.Series()
-	res.TimelineHybrid = hyb.Timeline.Series()
-	res.SteadyBaseline = steadyMean(res.TimelineBaseline)
-	res.SteadyHybrid = steadyMean(res.TimelineHybrid)
-	if res.SteadyBaseline > 0 {
-		res.SteadyGain = res.SteadyHybrid / res.SteadyBaseline
-	}
-	res.SteadyCoVBaseline = steadyCoV(res.TimelineBaseline)
-	res.SteadyCoVHybrid = steadyCoV(res.TimelineHybrid)
-	if res.SteadyBaseline > 0 {
-		res.CliffBaseline = earlyMean(res.TimelineBaseline) / res.SteadyBaseline
-	}
-	if res.SteadyHybrid > 0 {
-		res.CliffHybrid = earlyMean(res.TimelineHybrid) / res.SteadyHybrid
-	}
-
 	// (b) write tail on SSD C once the baseline NVM chokes. The paper
 	// plots Web on its real SSD C; the simulated C stalls paced Web
 	// writes too rarely to measure, so the write-intensive synthetic
@@ -136,8 +118,6 @@ func Fig15(o Opts) Fig15Result {
 		}
 		return nvm.Run(dev, pr, reqs, hcfg, now)
 	}
-	res.WriteTailBaseline = writeTail(runTail(nvm.Baseline), 0.999)
-	res.WriteTailHybrid = writeTail(runTail(nvm.HybridPAS), 0.999)
 
 	// (c) NVM pressure on SSDs A-C, averaged over the three
 	// write-intensive traces (the paper reports per-device averages
@@ -145,36 +125,82 @@ func Fig15(o Opts) Fig15Result {
 	// headroom above the write demand so that admission policy — not
 	// drain bandwidth — determines the NVM traffic, matching the
 	// paper's accounting of pressure as the traffic the policy sends.
-	for i, devName := range []string{"A", "B", "C"} {
-		seed := o.Seed + 20 + uint64(i)
-		run := func(policy nvm.Policy, spec trace.Spec) nvm.Result {
-			cfg, _ := ssd.Preset(devName, seed)
-			dev, now := preparedDevice(cfg, seed)
-			reqs := trace.Generate(spec, dev.CapacitySectors(), seed+1, o.n(20000))
-			var writeBytes int64
-			for _, r := range reqs {
-				if r.Op == blockdev.Write {
-					writeBytes += int64(r.Bytes())
-				}
+	pressDevs := []string{"A", "B", "C"}
+	runPressure := func(devName string, seed uint64, policy nvm.Policy, spec trace.Spec) nvm.Result {
+		cfg, _ := ssd.Preset(devName, seed)
+		dev, now := preparedDevice(cfg, seed)
+		reqs := trace.Generate(spec, dev.CapacitySectors(), seed+1, o.n(20000))
+		var writeBytes int64
+		for _, r := range reqs {
+			if r.Op == blockdev.Write {
+				writeBytes += int64(r.Bytes())
 			}
-			nvmBytes := writeBytes / 40
-			if nvmBytes < 2<<20 {
-				nvmBytes = 2 << 20
-			}
-			var pr *core.Predictor
-			if policy == nvm.HybridPAS {
-				pr = fig15Predictor(cfg, seed+2)
-			}
-			hcfg, now := nvm.CalibratedConfig(dev, spec, seed+4, now,
-				nvm.Config{Policy: policy, NVMBytes: nvmBytes, DrainFactor: 1.3, Seed: seed + 3})
-			return nvm.Run(dev, pr, reqs, hcfg, now)
 		}
+		nvmBytes := writeBytes / 40
+		if nvmBytes < 2<<20 {
+			nvmBytes = 2 << 20
+		}
+		var pr *core.Predictor
+		if policy == nvm.HybridPAS {
+			pr = fig15Predictor(cfg, seed+2)
+		}
+		hcfg, now := nvm.CalibratedConfig(dev, spec, seed+4, now,
+			nvm.Config{Policy: policy, NVMBytes: nvmBytes, DrainFactor: 1.3, Seed: seed + 3})
+		return nvm.Run(dev, pr, reqs, hcfg, now)
+	}
+
+	// Every run across the three panels is an independent simulation with
+	// its own seed and device, so the whole figure fans out as one batch:
+	// 2 timeline runs, 2 tail runs, and 3 devices x 3 traces x 2 policies
+	// pressure runs. Each unit writes only its own slot.
+	var base, hyb, tailBase, tailHyb nvm.Result
+	nSpecs := len(trace.WriteIntensive)
+	pressMB := make([]float64, len(pressDevs)*nSpecs*2)
+	units := []func(){
+		func() { base = runTimeline(nvm.Baseline) },
+		func() { hyb = runTimeline(nvm.HybridPAS) },
+		func() { tailBase = runTail(nvm.Baseline) },
+		func() { tailHyb = runTail(nvm.HybridPAS) },
+	}
+	for k := range pressMB {
+		k := k
+		units = append(units, func() {
+			di, si, pi := k/(nSpecs*2), (k%(nSpecs*2))/2, k%2
+			seed := o.Seed + 20 + uint64(di)
+			policy := nvm.Baseline
+			if pi == 1 {
+				policy = nvm.HybridPAS
+			}
+			r := runPressure(pressDevs[di], seed, policy, trace.WriteIntensive[si])
+			pressMB[k] = float64(r.NVMBytesWritten) / 1e6
+		})
+	}
+	runParUnits(o, units)
+
+	res.TimelineBaseline = base.Timeline.Series()
+	res.TimelineHybrid = hyb.Timeline.Series()
+	res.SteadyBaseline = steadyMean(res.TimelineBaseline)
+	res.SteadyHybrid = steadyMean(res.TimelineHybrid)
+	if res.SteadyBaseline > 0 {
+		res.SteadyGain = res.SteadyHybrid / res.SteadyBaseline
+	}
+	res.SteadyCoVBaseline = steadyCoV(res.TimelineBaseline)
+	res.SteadyCoVHybrid = steadyCoV(res.TimelineHybrid)
+	if res.SteadyBaseline > 0 {
+		res.CliffBaseline = earlyMean(res.TimelineBaseline) / res.SteadyBaseline
+	}
+	if res.SteadyHybrid > 0 {
+		res.CliffHybrid = earlyMean(res.TimelineHybrid) / res.SteadyHybrid
+	}
+
+	res.WriteTailBaseline = writeTail(tailBase, 0.999)
+	res.WriteTailHybrid = writeTail(tailHyb, 0.999)
+
+	for di, devName := range pressDevs {
 		p := Fig15Pressure{Device: "SSD " + devName}
-		for _, spec := range trace.WriteIntensive {
-			b := run(nvm.Baseline, spec)
-			h := run(nvm.HybridPAS, spec)
-			p.BaselineMB += float64(b.NVMBytesWritten) / 1e6
-			p.HybridMB += float64(h.NVMBytesWritten) / 1e6
+		for si := 0; si < nSpecs; si++ {
+			p.BaselineMB += pressMB[di*nSpecs*2+si*2]
+			p.HybridMB += pressMB[di*nSpecs*2+si*2+1]
 		}
 		if p.BaselineMB > 0 {
 			p.ReductionPct = 100 * (1 - p.HybridMB/p.BaselineMB)

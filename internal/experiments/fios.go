@@ -49,37 +49,52 @@ func (r FIOSResult) Render(w io.Writer) {
 func FIOS(o Opts) FIOSResult {
 	o = o.WithDefaults()
 	var res FIOSResult
-	for _, spec := range []trace.Spec{trace.Web, trace.TPCE, trace.Build} {
+	specs := []trace.Spec{trace.Web, trace.TPCE, trace.Build}
+
+	run := func(spec trace.Spec, assisted bool) (time.Duration, time.Duration, float64) {
 		seed := o.Seed + uint64(len(spec.Name))*59
 		cfg := ssd.PresetA(seed)
-
-		run := func(assisted bool) (time.Duration, time.Duration, float64) {
-			dev, now := preparedDevice(cfg, seed)
-			var s host.Scheduler
-			if assisted {
-				_, feats, _, err := diagnosedDevice(cfg, seed)
-				if err != nil {
-					panic(err)
-				}
-				s = sched.NewFIOSWithPredictor(core.NewPredictor(feats, core.Params{}))
-			} else {
-				s = sched.NewFIOS()
+		dev, now := preparedDevice(cfg, seed)
+		var s host.Scheduler
+		if assisted {
+			_, feats, _, err := diagnosedDevice(cfg, seed)
+			if err != nil {
+				panic(err)
 			}
-			// Closed loop at queue depth 16: a read always has writes
-			// around it, so the hold-back assumption binds on every
-			// read — the regime FIOS was designed for.
-			reqs := trace.Generate(spec, dev.CapacitySectors(), seed+5, o.n(12000))
-			recs := host.DriveClosedLoop(dev, s, reqs, 16, now)
-			reads := host.FilterOp(recs, blockdev.Read)
-			return time.Duration(host.PercentileLatency(reads, 0.5)),
-				time.Duration(host.PercentileLatency(reads, 0.95)),
-				host.Summarize(recs).ThroughputMBps
+			s = sched.NewFIOSWithPredictor(core.NewPredictor(feats, core.Params{}))
+		} else {
+			s = sched.NewFIOS()
 		}
+		// Closed loop at queue depth 16: a read always has writes
+		// around it, so the hold-back assumption binds on every
+		// read — the regime FIOS was designed for.
+		reqs := trace.Generate(spec, dev.CapacitySectors(), seed+5, o.n(12000))
+		recs := host.DriveClosedLoop(dev, s, reqs, 16, now)
+		reads := host.FilterOp(recs, blockdev.Read)
+		return time.Duration(host.PercentileLatency(reads, 0.5)),
+			time.Duration(host.PercentileLatency(reads, 0.95)),
+			host.Summarize(recs).ThroughputMBps
+	}
 
-		row := FIOSRow{Workload: spec.Name}
-		row.ClassicP50, row.ClassicP95, row.ClassicMBps = run(false)
-		row.AssistedP50, row.AssistedP95, row.AssistedMBps = run(true)
-		res.Rows = append(res.Rows, row)
+	// Each (workload, mode) run seeds from the workload alone and uses
+	// its own device, so the whole 3x2 grid fans out at once.
+	rows := runPar(o, len(specs)*2, func(k int) FIOSRow {
+		spec, assisted := specs[k/2], k%2 == 1
+		var row FIOSRow
+		if assisted {
+			row.AssistedP50, row.AssistedP95, row.AssistedMBps = run(spec, true)
+		} else {
+			row.ClassicP50, row.ClassicP95, row.ClassicMBps = run(spec, false)
+		}
+		return row
+	})
+	for i, spec := range specs {
+		c, a := rows[i*2], rows[i*2+1]
+		res.Rows = append(res.Rows, FIOSRow{
+			Workload:   spec.Name,
+			ClassicP50: c.ClassicP50, ClassicP95: c.ClassicP95, ClassicMBps: c.ClassicMBps,
+			AssistedP50: a.AssistedP50, AssistedP95: a.AssistedP95, AssistedMBps: a.AssistedMBps,
+		})
 	}
 	return res
 }

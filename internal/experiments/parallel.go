@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel experiment runner.
+//
+// Every experiment decomposes into independent units — one simulated
+// device, one prototype variant, one (device, workload, scheduler)
+// cell — and each unit is already self-contained by repository-wide
+// discipline: it builds its own device, clock and RNG from a seed that
+// depends only on the unit's identity, never on execution order.
+// runPar exploits that: units run on a bounded pool of goroutines and
+// results are assembled in input order, so a rendered report is
+// byte-identical at any worker count, including workers=1.
+//
+// Deadlock invariant: runPar must not be called from inside a unit
+// (units hold a pool token while they run; a nested acquisition could
+// starve). Experiments call it only at their top level, possibly
+// several times in sequence for separate phases.
+
+// workerCount resolves the effective worker bound for o.
+func (o Opts) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPar runs fn(i) for every i in [0, n) on up to o.Workers concurrent
+// goroutines (0 = GOMAXPROCS) and returns the results in input order.
+// When experiments themselves run concurrently (RunMany), they share
+// one token pool, so the bound holds across experiments, not per
+// experiment. A panic inside a unit is re-raised in the caller after
+// all units finish.
+func runPar[T any](o Opts, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	pool := o.pool
+	if pool == nil {
+		workers := o.workerCount()
+		if workers <= 1 || n == 1 {
+			for i := range out {
+				out[i] = fn(i)
+			}
+			return out
+		}
+		pool = make(chan struct{}, workers)
+	}
+	var (
+		wg         sync.WaitGroup
+		panicMu    sync.Mutex
+		firstPanic any
+		panicked   bool
+	)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pool <- struct{}{}
+			defer func() { <-pool }()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked, firstPanic = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			out[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicked {
+		panic(firstPanic)
+	}
+	return out
+}
+
+// runParUnits runs a slice of heterogeneous units (closures capturing
+// their own result slots) through the same pool. It lets an experiment
+// fan out every independent run it makes — across panels, policies and
+// devices — in a single parallel phase.
+func runParUnits(o Opts, units []func()) {
+	runPar(o, len(units), func(i int) struct{} {
+		units[i]()
+		return struct{}{}
+	})
+}

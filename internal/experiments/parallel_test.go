@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkersByteIdentical is the determinism regression test for the
+// parallel runner: every registered experiment must render exactly the
+// same bytes at workers=1 and workers=8 for the same seed. Run under
+// -race in CI, it also shakes out data races between units.
+func TestWorkersByteIdentical(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var serial, parallel bytes.Buffer
+			if err := Run(name, Opts{Seed: 42, Scale: 0.2, Workers: 1}, &serial); err != nil {
+				t.Fatal(err)
+			}
+			if err := Run(name, Opts{Seed: 42, Scale: 0.2, Workers: 8}, &parallel); err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != parallel.String() {
+				t.Errorf("render differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s",
+					serial.String(), parallel.String())
+			}
+		})
+	}
+}
+
+func TestRunParOrder(t *testing.T) {
+	got := runPar(Opts{Workers: 8}, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d]=%d want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunParBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	runPar(Opts{Workers: 3}, 64, func(i int) struct{} {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent units with Workers=3", p)
+	}
+}
+
+func TestRunParPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom 7" {
+			t.Fatalf("recovered %v, want the unit's panic", r)
+		}
+	}()
+	runPar(Opts{Workers: 4}, 16, func(i int) int {
+		if i == 7 {
+			panic("boom 7")
+		}
+		return i
+	})
+	t.Fatal("runPar did not re-panic")
+}
+
+// TestRunManyStableOrder pins the streaming contract: experiments run
+// concurrently, but renders come out in sorted registry order with the
+// same headers RunAll prints, byte-identical to running them serially.
+func TestRunManyStableOrder(t *testing.T) {
+	names := []string{"table2", "fig4", "fig6", "fig4"} // unsorted, with a duplicate
+	o := Opts{Seed: 42, Scale: 0.25, Workers: 4}
+
+	var want bytes.Buffer
+	for _, name := range []string{"fig4", "fig6", "table2"} {
+		fprintf(&want, "==== %s ====\n", name)
+		if err := Run(name, o, &want); err != nil {
+			t.Fatal(err)
+		}
+		fprintf(&want, "\n")
+	}
+
+	var got bytes.Buffer
+	if err := RunMany(names, o, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("RunMany output differs from serial order:\n--- got\n%s\n--- want\n%s", got.String(), want.String())
+	}
+
+	// A single name renders bare, exactly like Run.
+	var single, direct bytes.Buffer
+	if err := RunMany([]string{"fig6"}, o, &single); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("fig6", o, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != direct.String() {
+		t.Errorf("single-name RunMany differs from Run:\n%s\nvs\n%s", single.String(), direct.String())
+	}
+	if strings.Contains(single.String(), "====") {
+		t.Error("single-name RunMany printed a header")
+	}
+}
+
+func TestRunManyUnknownName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMany([]string{"fig6", "nope"}, Opts{Seed: 1, Scale: 0.2}, &buf); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("RunMany wrote output despite the error: %q", buf.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/core"
+	"ssdcheck/internal/extract"
 	"ssdcheck/internal/host"
 	"ssdcheck/internal/sched"
 	"ssdcheck/internal/ssd"
@@ -50,40 +51,55 @@ func QDSweep(o Opts) QDSweepResult {
 	res := QDSweepResult{Device: "SSD G", Workload: "Build"}
 	seed := o.Seed + 17
 
+	// The diagnosis runs as a single pooled unit (bounded when several
+	// experiments share a pool); the sweep then reads feats without
+	// mutating it, so every (depth, scheduler) run fans out at once.
 	cfg, _ := ssd.Preset("G", seed)
-	_, feats, _, err := diagnosedDevice(cfg, seed)
+	var feats *extract.Features
+	var err error
+	runParUnits(o, []func(){func() {
+		_, feats, _, err = diagnosedDevice(cfg, seed)
+	}})
 	if err != nil {
 		panic(err)
 	}
 
-	for _, depth := range []int{1, 4, 8, 16} {
-		run := func(pas bool) ([]host.Record, float64) {
-			dev, now := preparedDevice(cfg, seed)
-			var s host.Scheduler
-			if pas {
-				s = sched.NewPAS(core.NewPredictor(feats, core.Params{}))
-			} else {
-				s = sched.NewNoop()
-			}
-			reqs := trace.Generate(trace.Build, dev.CapacitySectors(), seed+5, o.n(12000))
-			gap, now := host.CalibrateMeanGap(dev, trace.Build, seed+6, o.n(1500), 0.45, now)
-			arr := host.OpenLoopArrivals(reqs, gap, seed+7)
-			for i := range arr {
-				arr[i].At += now
-			}
-			recs := host.DriveQD(dev, s, arr, depth)
-			return host.FilterOp(recs, blockdev.Read), host.Summarize(recs).ThroughputMBps
+	run := func(depth int, pas bool) ([]host.Record, float64) {
+		dev, now := preparedDevice(cfg, seed)
+		var s host.Scheduler
+		if pas {
+			s = sched.NewPAS(core.NewPredictor(feats, core.Params{}))
+		} else {
+			s = sched.NewNoop()
 		}
+		reqs := trace.Generate(trace.Build, dev.CapacitySectors(), seed+5, o.n(12000))
+		gap, now := host.CalibrateMeanGap(dev, trace.Build, seed+6, o.n(1500), 0.45, now)
+		arr := host.OpenLoopArrivals(reqs, gap, seed+7)
+		for i := range arr {
+			arr[i].At += now
+		}
+		recs := host.DriveQD(dev, s, arr, depth)
+		return host.FilterOp(recs, blockdev.Read), host.Summarize(recs).ThroughputMBps
+	}
 
-		noopReads, noopMBps := run(false)
-		pasReads, pasMBps := run(true)
-		q := flushPercentile(noopReads)
+	depths := []int{1, 4, 8, 16}
+	type sweepRun struct {
+		reads []host.Record
+		mbps  float64
+	}
+	runs := runPar(o, len(depths)*2, func(k int) sweepRun {
+		reads, mbps := run(depths[k/2], k%2 == 1)
+		return sweepRun{reads: reads, mbps: mbps}
+	})
+	for i, depth := range depths {
+		noop, pas := runs[i*2], runs[i*2+1]
+		q := flushPercentile(noop.reads)
 		p := QDPoint{
 			Depth:    depth,
-			NoopTail: time.Duration(host.PercentileLatency(noopReads, q)),
-			PASTail:  time.Duration(host.PercentileLatency(pasReads, q)),
-			NoopMBps: noopMBps,
-			PASMBps:  pasMBps,
+			NoopTail: time.Duration(host.PercentileLatency(noop.reads, q)),
+			PASTail:  time.Duration(host.PercentileLatency(pas.reads, q)),
+			NoopMBps: noop.mbps,
+			PASMBps:  pas.mbps,
 		}
 		if p.NoopTail > 0 {
 			p.TailRatio = float64(p.PASTail) / float64(p.NoopTail)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,11 +66,68 @@ func RunJSON(name string, o Opts, w io.Writer) error {
 	return enc.Encode(map[string]any{"experiment": name, "artifact": rep.Name(), "result": rep})
 }
 
-// RunAll executes every experiment in a stable order.
-func RunAll(o Opts, w io.Writer) {
-	for _, name := range Names() {
-		fprintf(w, "==== %s ====\n", name)
-		_ = Run(name, o, w)
-		fprintf(w, "\n")
+// RunMany executes the named experiments concurrently and renders them
+// to w in stable registry order (duplicates removed). All experiments
+// share one worker pool sized by o.Workers, so total parallelism stays
+// bounded no matter how many experiments run at once. Output streams:
+// each experiment renders into its own buffer and is printed as soon as
+// it and every experiment before it have finished — byte-identical to
+// running them serially in the same order. With more than one name,
+// each render gets the same "==== name ====" header RunAll prints.
+func RunMany(names []string, o Opts, w io.Writer) error {
+	uniq := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if _, ok := Registry[name]; !ok {
+			return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+		}
+		if !seen[name] {
+			seen[name] = true
+			uniq = append(uniq, name)
+		}
 	}
+	sort.Strings(uniq)
+
+	o = o.WithDefaults()
+	if o.pool == nil {
+		o.pool = make(chan struct{}, o.workerCount())
+	}
+
+	type outcome struct {
+		buf      bytes.Buffer
+		panicked any
+		done     chan struct{}
+	}
+	outs := make([]*outcome, len(uniq))
+	for i, name := range uniq {
+		out := &outcome{done: make(chan struct{})}
+		outs[i] = out
+		go func(name string) {
+			defer close(out.done)
+			defer func() { out.panicked = recover() }()
+			if len(uniq) > 1 {
+				fprintf(&out.buf, "==== %s ====\n", name)
+			}
+			Registry[name](o).Render(&out.buf)
+			if len(uniq) > 1 {
+				fprintf(&out.buf, "\n")
+			}
+		}(name)
+	}
+	for _, out := range outs {
+		<-out.done
+		if _, err := w.Write(out.buf.Bytes()); err != nil {
+			return err
+		}
+		if out.panicked != nil {
+			panic(out.panicked)
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment concurrently, rendering in a stable
+// order.
+func RunAll(o Opts, w io.Writer) {
+	_ = RunMany(Names(), o, w)
 }

@@ -67,7 +67,14 @@ func (v *Volume) bufferOnePage(lpn int32, t simclock.Time) (simclock.Time, block
 		}
 	}
 	v.buf = append(v.buf, lpn)
-	v.bufSet[lpn]++
+	if v.bufStamp[lpn] != v.bufEpoch {
+		v.bufStamp[lpn] = v.bufEpoch
+		v.bufCnt[lpn] = 0
+	}
+	if v.bufCnt[lpn] == 0 {
+		v.bufDistinct++
+	}
+	v.bufCnt[lpn]++
 	return t, cause
 }
 
@@ -97,7 +104,8 @@ func (v *Volume) startFlush(t simclock.Time) {
 		}
 	}
 	v.buf = v.buf[:0]
-	clear(v.bufSet)
+	v.bufEpoch++ // O(1) clear of the membership index
+	v.bufDistinct = 0
 	v.stats.Flushes++
 
 	var dur time.Duration
@@ -160,11 +168,12 @@ func (v *Volume) Read(lpn int32, pages int, at simclock.Time) (simclock.Time, bl
 // allBuffered reports whether every page of the range currently sits in
 // the active write buffer.
 func (v *Volume) allBuffered(lpn int32, pages int) bool {
-	if len(v.bufSet) == 0 {
+	if v.bufDistinct == 0 {
 		return false
 	}
 	for i := 0; i < pages; i++ {
-		if v.bufSet[lpn+int32(i)] == 0 {
+		p := lpn + int32(i)
+		if int(p) >= len(v.bufCnt) || v.bufStamp[p] != v.bufEpoch || v.bufCnt[p] == 0 {
 			return false
 		}
 	}

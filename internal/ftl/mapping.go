@@ -53,8 +53,9 @@ func (v *Volume) Trim(lpn int32, pages int) {
 			break
 		}
 		v.unmap(p)
-		if n := v.bufSet[p]; n > 0 {
-			delete(v.bufSet, p)
+		if v.bufStamp[p] == v.bufEpoch && v.bufCnt[p] > 0 {
+			v.bufCnt[p] = 0
+			v.bufDistinct--
 			kept := v.buf[:0]
 			for _, b := range v.buf {
 				if b != p {
@@ -108,17 +109,25 @@ func (v *Volume) CheckInvariants() error {
 			return fmt.Errorf("free block %d not erased (valid=%d filled=%d)", b, v.blocks[b].valid, v.blocks[b].filled)
 		}
 	}
-	// Buffer set must mirror the buffer FIFO.
-	counts := make(map[int32]int32)
+	// Buffer-membership index must mirror the buffer FIFO.
+	counts := make([]int32, v.cfg.LogicalPages)
+	distinct := 0
 	for _, lpn := range v.buf {
+		if counts[lpn] == 0 {
+			distinct++
+		}
 		counts[lpn]++
 	}
-	if len(counts) != len(v.bufSet) {
-		return fmt.Errorf("buffer set size %d, FIFO has %d distinct", len(v.bufSet), len(counts))
+	if distinct != v.bufDistinct {
+		return fmt.Errorf("buffer index has %d distinct pages, FIFO has %d", v.bufDistinct, distinct)
 	}
 	for lpn, n := range counts {
-		if v.bufSet[lpn] != n {
-			return fmt.Errorf("buffer set count for lpn %d is %d, FIFO has %d", lpn, v.bufSet[lpn], n)
+		var got int32
+		if v.bufStamp[lpn] == v.bufEpoch {
+			got = v.bufCnt[lpn]
+		}
+		if got != n {
+			return fmt.Errorf("buffer index count for lpn %d is %d, FIFO has %d", lpn, got, n)
 		}
 	}
 	// SLC blocks may only use their half-density page budget.

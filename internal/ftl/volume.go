@@ -157,8 +157,18 @@ type Volume struct {
 	active int32   // block currently accepting programs
 	apage  int32   // next page index within the active block
 
-	buf    []int32         // logical pages in the active buffer, FIFO
-	bufSet map[int32]int32 // lpn -> occurrences in the active buffer
+	buf []int32 // logical pages in the active buffer, FIFO
+
+	// Buffer-membership index: dense arrays indexed by logical page,
+	// epoch-stamped so a drain clears the whole buffer in O(1) by
+	// bumping bufEpoch instead of walking (or allocating) a map.
+	// bufCnt[lpn] is meaningful only when bufStamp[lpn] == bufEpoch.
+	// Buffer membership is checked on every read, so this is the
+	// simulator's hottest lookup.
+	bufStamp    []uint64
+	bufCnt      []int32
+	bufEpoch    uint64
+	bufDistinct int // distinct logical pages currently buffered
 
 	flushBusyUntil simclock.Time // media busy draining a flush
 	gcBusyUntil    simclock.Time // media busy doing GC
@@ -177,12 +187,15 @@ func NewVolume(cfg Config) (*Volume, error) {
 		return nil, err
 	}
 	v := &Volume{
-		cfg:    cfg,
-		timing: cfg.Timing,
-		planes: cfg.Geom.Planes(),
-		ppb:    cfg.Geom.PagesPerBlock,
-		rng:    simclock.NewRNG(cfg.Seed),
-		bufSet: make(map[int32]int32),
+		cfg:      cfg,
+		timing:   cfg.Timing,
+		planes:   cfg.Geom.Planes(),
+		ppb:      cfg.Geom.PagesPerBlock,
+		rng:      simclock.NewRNG(cfg.Seed),
+		buf:      make([]int32, 0, cfg.BufferPages),
+		bufStamp: make([]uint64, cfg.LogicalPages),
+		bufCnt:   make([]int32, cfg.LogicalPages),
+		bufEpoch: 1, // so the zeroed bufStamp marks every page absent
 	}
 	v.l2p = make([]int32, cfg.LogicalPages)
 	for i := range v.l2p {
@@ -281,26 +294,7 @@ func (v *Volume) checkMonotonic(at simclock.Time) {
 }
 
 // worse returns the more severe of two causes for reporting a single
-// label per request: GC dominates everything, then flush-family causes.
+// label per request; the severity order lives in blockdev.WorseCause.
 func worse(a, b blockdev.Cause) blockdev.Cause {
-	rank := func(c blockdev.Cause) int {
-		switch c {
-		case blockdev.CauseGC:
-			return 5
-		case blockdev.CauseSecondary:
-			return 4
-		case blockdev.CauseReadTrigger:
-			return 3
-		case blockdev.CauseBackpressure:
-			return 2
-		case blockdev.CauseFlush:
-			return 1
-		default:
-			return 0
-		}
-	}
-	if rank(b) > rank(a) {
-		return b
-	}
-	return a
+	return blockdev.WorseCause(a, b)
 }

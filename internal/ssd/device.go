@@ -106,7 +106,71 @@ type Device struct {
 	regionSz int64 // sectors per contiguous same-volume region
 	rng      *simclock.RNG
 
+	// Precomputed shift/mask segments derived once from the sorted
+	// volume bits, so the per-request volume select and address
+	// compaction are a handful of mask-and-shift operations instead of
+	// per-bit loops (squeeze used to walk all 63 address bits).
+	volSegs []gatherSeg
+	sqSegs  []shiftSeg
+
 	completions uint64
+}
+
+// gatherSeg extracts one run of contiguous volume-select bits:
+// idx |= ((lba >> Shift) & Mask) << Out.
+type gatherSeg struct {
+	Mask  int64
+	Shift uint
+	Out   uint
+}
+
+// shiftSeg compacts one run of kept address bits:
+// out |= (lba & Mask) >> Shift.
+type shiftSeg struct {
+	Mask  int64
+	Shift uint
+}
+
+// buildBitSegments precomputes the volume-select and squeeze segments
+// from the sorted volume bits.
+func (d *Device) buildBitSegments() {
+	bits := d.volBits
+	if len(bits) == 0 {
+		return
+	}
+	// Volume select: group consecutive bit indices into runs.
+	for i := 0; i < len(bits); {
+		j := i
+		for j+1 < len(bits) && bits[j+1] == bits[j]+1 {
+			j++
+		}
+		run := j - i + 1
+		d.volSegs = append(d.volSegs, gatherSeg{
+			Mask:  int64(1)<<uint(run) - 1,
+			Shift: uint(bits[i]),
+			Out:   uint(i),
+		})
+		i = j + 1
+	}
+	// Squeeze: the kept bit ranges between (and around) the removed
+	// bits, each shifted down by the number of removed bits below it.
+	// Only bits 0..62 participate, as in the original per-bit loop.
+	rangeMask := func(lo, hi int) int64 { // bits [lo, hi)
+		if lo >= hi {
+			return 0
+		}
+		return (int64(1)<<uint(hi) - 1) &^ (int64(1)<<uint(lo) - 1)
+	}
+	lo := 0
+	for i, b := range bits {
+		if m := rangeMask(lo, b); m != 0 {
+			d.sqSegs = append(d.sqSegs, shiftSeg{Mask: m, Shift: uint(i)})
+		}
+		lo = b + 1
+	}
+	if m := rangeMask(lo, 63); m != 0 {
+		d.sqSegs = append(d.sqSegs, shiftSeg{Mask: m, Shift: uint(len(bits))})
+	}
 }
 
 var (
@@ -126,6 +190,7 @@ func New(cfg Config) (*Device, error) {
 	}
 	d.volBits = append(d.volBits, cfg.VolumeBits...)
 	sort.Ints(d.volBits)
+	d.buildBitSegments()
 	if len(d.volBits) > 0 {
 		d.regionSz = int64(1) << uint(d.volBits[0])
 	} else {
@@ -196,29 +261,22 @@ func (d *Device) Completions() uint64 { return d.completions }
 // gathered bit values at the configured indices.
 func (d *Device) volumeOf(lba int64) int {
 	idx := 0
-	for i, b := range d.volBits {
-		idx |= int((lba>>uint(b))&1) << uint(i)
+	for _, s := range d.volSegs {
+		idx |= int((lba>>s.Shift)&s.Mask) << s.Out
 	}
 	return idx
 }
 
 // squeeze removes the volume-selecting bits from a sector address,
 // compacting the remaining bits, so each volume sees a dense local
-// address space.
+// address space. The segments are precomputed in buildBitSegments.
 func (d *Device) squeeze(lba int64) int64 {
-	if len(d.volBits) == 0 {
+	if len(d.sqSegs) == 0 {
 		return lba
 	}
 	var out int64
-	outPos := uint(0)
-	bi := 0
-	for pos := 0; pos < 63; pos++ {
-		if bi < len(d.volBits) && d.volBits[bi] == pos {
-			bi++
-			continue
-		}
-		out |= ((lba >> uint(pos)) & 1) << outPos
-		outPos++
+	for _, s := range d.sqSegs {
+		out |= (lba & s.Mask) >> s.Shift
 	}
 	return out
 }
@@ -249,15 +307,27 @@ func (d *Device) SubmitTagged(req blockdev.Request, at simclock.Time) (simclock.
 
 	done := at
 	cause := blockdev.CauseNone
+	single := len(d.vols) == 1
 	// Walk the request in same-volume regions; almost every request is
 	// a single region, multi-region only at 2^minBit boundaries.
 	for lba := req.LBA; lba < end; {
-		regionEnd := (lba/d.regionSz + 1) * d.regionSz
-		if regionEnd > end {
-			regionEnd = end
+		var vol *ftl.Volume
+		var local int64
+		regionEnd := end
+		if single {
+			// One volume: the whole request is one region and the
+			// local address space is the global one.
+			vol = d.vols[0]
+			local = lba
+		} else {
+			// regionSz is 1<<minVolumeBit, so the next region
+			// boundary is a mask away (no division on the hot path).
+			if re := (lba | (d.regionSz - 1)) + 1; re < end {
+				regionEnd = re
+			}
+			vol = d.vols[d.volumeOf(lba)]
+			local = d.squeeze(lba)
 		}
-		vol := d.vols[d.volumeOf(lba)]
-		local := d.squeeze(lba)
 		firstPage := local / blockdev.SectorsPerPage
 		lastPage := (local + (regionEnd - lba) - 1) / blockdev.SectorsPerPage
 		pages := int(lastPage - firstPage + 1)
@@ -290,28 +360,10 @@ func (d *Device) SubmitTagged(req blockdev.Request, at simclock.Time) (simclock.
 	return done, cause
 }
 
-// worseCause mirrors the FTL's severity ordering at device level.
+// worseCause mirrors the FTL's severity ordering at device level; the
+// single source of truth is blockdev.WorseCause.
 func worseCause(a, b blockdev.Cause) blockdev.Cause {
-	rank := func(c blockdev.Cause) int {
-		switch c {
-		case blockdev.CauseGC:
-			return 5
-		case blockdev.CauseSecondary:
-			return 4
-		case blockdev.CauseReadTrigger:
-			return 3
-		case blockdev.CauseBackpressure:
-			return 2
-		case blockdev.CauseFlush:
-			return 1
-		default:
-			return 0
-		}
-	}
-	if rank(b) > rank(a) {
-		return b
-	}
-	return a
+	return blockdev.WorseCause(a, b)
 }
 
 // WouldStallRead reports whether a read of lba submitted at t would be

@@ -1,0 +1,33 @@
+package ssd
+
+import "testing"
+
+// BenchmarkSqueeze measures the precomputed shift/mask address
+// compaction that replaced the per-bit squeeze loop, on the two-bit
+// preset E layout (bits 17 and 18 removed).
+func BenchmarkSqueeze(b *testing.B) {
+	d := MustNew(PresetE(1))
+	if len(d.volBits) != 2 {
+		b.Fatalf("preset E has %d volume bits, want 2", len(d.volBits))
+	}
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += d.squeeze(int64(i) * 997)
+	}
+	if sink == 0 && b.N > 1 {
+		b.Fatal("squeeze returned all zeros")
+	}
+}
+
+// BenchmarkVolumeOf measures the gather-segment volume selection on the
+// same layout.
+func BenchmarkVolumeOf(b *testing.B) {
+	d := MustNew(PresetE(1))
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += d.volumeOf(int64(i) * 997)
+	}
+	_ = sink
+}
