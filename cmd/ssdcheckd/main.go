@@ -5,20 +5,30 @@
 //
 // Endpoints:
 //
-//	POST /v1/submit               {"requests":[{"device":"ssd-00-A","op":"write","lba":4096,"sectors":8}]}
-//	GET  /v1/devices              per-device stats snapshots
-//	GET  /v1/devices/{id}         one device's stats and model state
-//	GET  /v1/devices/{id}/health  one device's health state and transition log
-//	GET  /v1/metrics              fleet-wide aggregate (JSON)
-//	GET  /v1/traces               sampled request traces (?device=ID, ?format=chrome)
-//	GET  /metrics                 Prometheus text exposition
-//	GET  /debug/pprof/            runtime profiling
-//	GET  /healthz                 liveness, degraded-aware
+//	POST /v1/submit                        {"requests":[{"device":"ssd-00-A","op":"write","lba":4096,"sectors":8}]}
+//	GET  /v1/devices                       per-device stats snapshots
+//	GET  /v1/devices/{id}                  one device's stats and model state
+//	GET  /v1/devices/{id}/health           one device's health state and transition log
+//	GET  /v1/devices/{id}/model            one device's model-health report and transition log
+//	POST /v1/devices/{id}/rediagnose       force an online re-diagnosis and hot-swap
+//	GET  /v1/metrics                       fleet-wide aggregate (JSON)
+//	GET  /v1/traces                        sampled request traces (?device=ID, ?format=chrome)
+//	GET  /metrics                          Prometheus text exposition
+//	GET  /debug/pprof/                     runtime profiling
+//	GET  /healthz                          liveness, degraded-aware
 //
 // Submit failures are per-request: a quarantined or failed device marks
 // only its own entries' "error" field, and the rest of the batch
 // proceeds. /healthz reports "degraded" (200) while some devices are
 // quarantined and "unhealthy" (503) when all are.
+//
+// Each device also carries a model-health lifecycle (calibrated →
+// drifting → fallback → rediagnosing): when a device's extracted model
+// stops matching its behavior, the fleet serves conservative always-NL
+// predictions (results flagged "fallback") while a budgeted background
+// re-diagnosis rebuilds the model and hot-swaps it. -model-floor sets
+// the HL-accuracy floor the drift watchdog enforces; -rediag-budget
+// caps the GC-interval probes one re-diagnosis may spend.
 //
 // Usage:
 //
@@ -69,6 +79,8 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 5*time.Second, "background recovery-probe period for quarantined devices (0 = rejection-triggered only)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace, 0..1 (0 = tracing off)")
 	traceBuffer := flag.Int("trace-buffer", 256, "retained traces per device")
+	modelFloor := flag.Float64("model-floor", 0, "HL-accuracy floor for the drift watchdog, 0..1 (0 = default)")
+	rediagBudget := flag.Int("rediag-budget", 0, "GC-interval probe budget per re-diagnosis (0 = default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ssdcheckd: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -76,18 +88,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval, *traceSample, *traceBuffer); err != nil {
+	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval, *traceSample, *traceBuffer, *modelFloor, *rediagBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheckd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int) error {
+func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int, modelFloor float64, rediagBudget int) error {
 	if devices <= 0 {
 		return fmt.Errorf("need at least one device (-devices)")
 	}
 	if traceSample < 0 || traceSample > 1 {
 		return fmt.Errorf("-trace-sample %v outside [0,1]", traceSample)
+	}
+	if modelFloor < 0 || modelFloor > 1 {
+		return fmt.Errorf("-model-floor %v outside [0,1]", modelFloor)
+	}
+	if rediagBudget < 0 {
+		return fmt.Errorf("-rediag-budget %d is negative", rediagBudget)
 	}
 	var cycle []string
 	for _, p := range strings.Split(presets, ",") {
@@ -110,6 +128,8 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 		Recorder:   obs.Observer{Reg: reg, Tr: tracer},
 	}
 	cfg.Health.ProbeInterval = probeInterval
+	cfg.Model.FloorHL = modelFloor
+	cfg.Model.RediagBudget = rediagBudget
 	if fastDiag {
 		cfg.Diagnosis = fleet.FastDiagnosis()
 	}

@@ -70,15 +70,20 @@ func newServer(m *fleet.Manager, tr *obs.Tracer) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		devs := m.Devices()
-		quarantined := 0
+		quarantined, fallback := 0, 0
 		for _, d := range devs {
 			if d.Health == fleet.Quarantined {
 				quarantined++
+			}
+			if d.ModelHealth == fleet.ModelFallback || d.ModelHealth == fleet.ModelRediagnosing {
+				fallback++
 			}
 		}
 		// Degraded-aware liveness: a partially quarantined fleet is
 		// still serving (200, but flagged for operators); a fully
 		// quarantined one is not (503, so load balancers drain us).
+		// Fallback-model devices keep serving (conservatively), so
+		// they are reported but never flip the status.
 		status, code := "ok", http.StatusOK
 		switch {
 		case len(devs) > 0 && quarantined == len(devs):
@@ -90,6 +95,7 @@ func newServer(m *fleet.Manager, tr *obs.Tracer) http.Handler {
 			"status":            status,
 			"devices":           len(devs),
 			"unhealthy_devices": quarantined,
+			"fallback_models":   fallback,
 			"shards":            m.Shards(),
 		})
 	})
@@ -151,6 +157,53 @@ func newServer(m *fleet.Manager, tr *obs.Tracer) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, hr)
+	})
+
+	mux.HandleFunc("GET /v1/devices/{id}/model", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rep, ok := m.DeviceModel(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+
+	mux.HandleFunc("POST /v1/devices/{id}/rediagnose", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Synchronous: the re-diagnosis runs to completion on the
+		// device's shard (interleaved with any queued traffic) and the
+		// fresh model report comes back in the response.
+		err := m.Rediagnose(id)
+		switch {
+		case errors.Is(err, fleet.ErrUnknownDevice):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, fleet.ErrDeviceQuarantined):
+			// The device is out of service; probing it cannot work.
+			writeError(w, http.StatusConflict, err)
+			return
+		case errors.Is(err, fleet.ErrManagerClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		rep, ok := m.DeviceModel(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+			return
+		}
+		if err != nil {
+			// The probes ran but the rebuilt model did not validate:
+			// the device stays in conservative fallback. 502 tells the
+			// operator the re-diagnosis itself failed, with the report
+			// alongside for the transition history.
+			writeJSON(w, http.StatusBadGateway, map[string]any{
+				"error": err.Error(),
+				"model": rep,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {

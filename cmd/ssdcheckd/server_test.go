@@ -327,3 +327,84 @@ func TestLoadFeaturesDir(t *testing.T) {
 		t.Error("corrupt features file accepted")
 	}
 }
+
+// TestServerModelEndpoints covers the model-health surface: the report
+// endpoint, the forced re-diagnosis endpoint (success, unknown device,
+// quarantined device), and the fallback-model detail in /healthz.
+func TestServerModelEndpoints(t *testing.T) {
+	devs := []fleet.DeviceSpec{
+		{ID: "solo", Preset: "A", Seed: 5},
+		{ID: "dead", Preset: "B", Seed: 6, Faults: &faults.Config{Schedules: []faults.Schedule{
+			{Kind: faults.FailStop, At: 1},
+		}}},
+	}
+	m, err := fleet.New(fleet.Config{
+		Devices:            devs,
+		Shards:             1,
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+		Health:             fleet.HealthPolicy{QuarantineAfterErrors: 1, ProbeAfterRejections: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(newServer(m, nil))
+	defer srv.Close()
+
+	// Quarantine the faulty device.
+	if _, err := m.Submit("dead", blockdev.Read, 0, 8); err == nil {
+		t.Fatal("dead device served")
+	}
+
+	var rep fleet.ModelReport
+	if resp := getJSON(t, srv, "/v1/devices/solo/model", &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/devices/solo/model: %d", resp.StatusCode)
+	}
+	if rep.ID != "solo" || rep.ModelHealth != fleet.ModelCalibrated || !rep.PredictorEnabled {
+		t.Fatalf("model report %+v, want calibrated solo", rep)
+	}
+	if resp := getJSON(t, srv, "/v1/devices/ghost/model", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown device model: %d, want 404", resp.StatusCode)
+	}
+
+	postRediag := func(id string) (int, fleet.ModelReport) {
+		resp, err := srv.Client().Post(srv.URL+"/v1/devices/"+id+"/rediagnose", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep fleet.ModelReport
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, rep
+	}
+	code, rep := postRediag("solo")
+	if code != http.StatusOK {
+		t.Fatalf("rediagnose solo: %d, want 200", code)
+	}
+	if rep.Rediags != 1 || rep.ModelHealth != fleet.ModelCalibrated {
+		t.Fatalf("post-rediagnose report %+v, want calibrated with 1 rediag", rep)
+	}
+	if len(rep.Transitions) == 0 || rep.Transitions[0].Cause != "operator request" {
+		t.Fatalf("transitions %+v, want operator request edge", rep.Transitions)
+	}
+	if code, _ := postRediag("ghost"); code != http.StatusNotFound {
+		t.Errorf("rediagnose unknown device: %d, want 404", code)
+	}
+	if code, _ := postRediag("dead"); code != http.StatusConflict {
+		t.Errorf("rediagnose quarantined device: %d, want 409", code)
+	}
+
+	var health map[string]any
+	getJSON(t, srv, "/healthz", &health)
+	if _, ok := health["fallback_models"]; !ok {
+		t.Errorf("/healthz missing fallback_models detail: %v", health)
+	}
+	if health["fallback_models"].(float64) != 0 {
+		t.Errorf("/healthz fallback_models = %v, want 0", health["fallback_models"])
+	}
+}

@@ -1,0 +1,103 @@
+// Modelhealth: the model-health lifecycle — a diagnosed device whose
+// firmware silently changes behavior mid-run (its write buffer halves),
+// watched by the per-device drift watchdog. The model's HL accuracy
+// collapses, the fleet drops the device into conservative fallback
+// (always-NL predictions, flagged on every result), a budgeted online
+// re-diagnosis reprobes the device between live requests, and the
+// rebuilt model hot-swaps in without dropping a single request.
+// Everything is seeded, so this demo prints the same transition log on
+// every run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssdcheck"
+)
+
+func main() {
+	const n = 20000
+	const shiftAt = 1500
+
+	// 1. One preset-A device carrying a feature-shift fault: after
+	//    serving shiftAt requests, its write buffer silently halves —
+	//    the black-box analog of a firmware update invalidating the
+	//    startup diagnosis.
+	devs := []ssdcheck.FleetDeviceSpec{
+		{ID: "drifty", Preset: "A", Seed: 11, Faults: &ssdcheck.FaultConfig{
+			Schedules: []ssdcheck.FaultSchedule{
+				{Kind: ssdcheck.FaultFeatureShift, At: shiftAt,
+					Shift: &ssdcheck.FeatureShift{BufferScale: 0.5}},
+			},
+		}},
+	}
+
+	// 2. A tight model policy so the lifecycle moves visibly within a
+	//    short demo: small accuracy windows, quick fallback, a small
+	//    probe budget for the online re-diagnosis.
+	m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+		Devices:   devs,
+		Diagnosis: ssdcheck.FastDiagnosis(),
+		Model: ssdcheck.ModelPolicy{
+			MinSamples:    64,  // drift verdicts need this many HL observations
+			FallbackAfter: 128, // sustained-drift patience before fallback
+			RediagAfter:   32,  // fallback requests before re-diagnosing
+			RediagBudget:  8,   // GC-interval probes one re-diagnosis may spend
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	fmt.Println("fleet up: one diagnosed device, drift watchdog armed")
+
+	// 3. Drive a seeded stream and tally prediction accuracy in
+	//    windows, so the collapse and the recovery are visible.
+	type window struct{ hlSeen, hlHit, fallback int }
+	const winSize = 2000
+	wins := make([]window, 0, n/winSize)
+	reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, 101, n)
+	for i, r := range reqs {
+		res, err := m.Submit("drifty", r.Op, r.LBA, r.Sectors)
+		if err != nil {
+			log.Fatalf("request %d: %v", i, err)
+		}
+		if i%winSize == 0 {
+			wins = append(wins, window{})
+		}
+		w := &wins[len(wins)-1]
+		if res.Fallback {
+			w.fallback++
+		}
+		if res.ObservedHL {
+			w.hlSeen++
+			if res.HL {
+				w.hlHit++
+			}
+		}
+	}
+
+	fmt.Printf("\n%-12s %8s %10s\n", "requests", "HLacc%", "fallback")
+	for i, w := range wins {
+		acc := 100.0
+		if w.hlSeen > 0 {
+			acc = 100 * float64(w.hlHit) / float64(w.hlSeen)
+		}
+		note := ""
+		if lo := i * winSize; lo <= shiftAt && shiftAt < lo+winSize {
+			note = "  <- buffer halves here"
+		}
+		fmt.Printf("%5d-%-6d %7.1f%% %10d%s\n", i*winSize, (i+1)*winSize, acc, w.fallback, note)
+	}
+
+	// 4. The model-health transition log: every edge the lifecycle
+	//    took, stamped with the device's request sequence number.
+	rep, _ := m.DeviceModel("drifty")
+	fmt.Println("\nmodel transitions:")
+	for _, tr := range rep.Transitions {
+		fmt.Printf("  seq %5d  %-12s -> %-12s (%s)\n", tr.Seq, tr.From, tr.To, tr.Cause)
+	}
+	fmt.Printf("\nfinal: %s after %d re-diagnosis pass(es); live HL window accuracy %.1f%%\n",
+		rep.ModelHealth, rep.Rediags, 100*rep.HLAccuracy)
+}

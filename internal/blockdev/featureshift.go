@@ -1,0 +1,43 @@
+package blockdev
+
+// FeatureShift describes a mid-run change to a device's extractable
+// behavior — the black-box analog of a firmware update or an internal
+// mode switch (e.g. an SLC-cache reconfiguration) that silently
+// invalidates a previously extracted model. Fault injectors apply one
+// to a live device to exercise drift detection and re-diagnosis.
+//
+// Zero fields mean "leave that feature alone"; a FeatureShift with no
+// effect set is invalid.
+type FeatureShift struct {
+	// BufferScale, when > 0 and != 1, multiplies the write-buffer
+	// capacity (in pages, floored at one page).
+	BufferScale float64 `json:"buffer_scale,omitempty"`
+
+	// ToggleBufferKind flips the buffer between back (double-buffered)
+	// and fore (synchronous flush) behavior.
+	ToggleBufferKind bool `json:"toggle_buffer_kind,omitempty"`
+
+	// ToggleReadTrigger flips whether reads arriving with a non-empty
+	// buffer trigger (and wait for) a flush.
+	ToggleReadTrigger bool `json:"toggle_read_trigger,omitempty"`
+}
+
+// Empty reports whether the shift changes nothing.
+func (s FeatureShift) Empty() bool {
+	return (s.BufferScale == 0 || s.BufferScale == 1) && !s.ToggleBufferKind && !s.ToggleReadTrigger
+}
+
+// FeatureShifter is an optional device extension: a device that can
+// change its internal behavior mid-run. The simulated SSDs implement
+// it; fault injectors look for it with a type assertion and degrade to
+// a no-op when the wrapped device cannot shift.
+//
+// The concurrency contract is Device's: ShiftFeatures must be called
+// from the device's owning goroutine, between submissions.
+type FeatureShifter interface {
+	Device
+
+	// ShiftFeatures applies the shift and reports whether the device
+	// actually changed behavior.
+	ShiftFeatures(shift FeatureShift) bool
+}

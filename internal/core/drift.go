@@ -1,0 +1,83 @@
+package core
+
+import (
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/extract"
+)
+
+// DriftReport is a read-only snapshot of the latency monitor's sliding
+// accuracy windows — the raw material for drift watchdogs layered on
+// top of the predictor (internal/fleet's model-health machine). It is a
+// plain value: taking one allocates nothing and mutates nothing, so
+// callers may sample it after every request.
+type DriftReport struct {
+	// HLSeen/HLHit are the sliding window of observed-HL requests and
+	// how many of them were predicted HL.
+	HLSeen, HLHit int
+	// NLSeen/NLHit are the corresponding NL window.
+	NLSeen, NLHit int
+	// DistResets counts how many times the calibrator discarded the GC
+	// interval history — the first rung of the paper's degradation
+	// ladder, and one rung above harmless disable.
+	DistResets int
+	// Enabled mirrors Predictor.Enabled: false once the calibrator has
+	// taken the accuracy-driven kill switch.
+	Enabled bool
+}
+
+// HLAccuracy returns the window's HL prediction accuracy (1 when the
+// window is empty, matching the predictor's convention).
+func (r DriftReport) HLAccuracy() float64 {
+	if r.HLSeen == 0 {
+		return 1
+	}
+	return float64(r.HLHit) / float64(r.HLSeen)
+}
+
+// NLAccuracy returns the window's NL prediction accuracy.
+func (r DriftReport) NLAccuracy() float64 {
+	if r.NLSeen == 0 {
+		return 1
+	}
+	return float64(r.NLHit) / float64(r.NLSeen)
+}
+
+// Drift returns the monitor's current accuracy window. Allocation-free:
+// safe on the per-request hot path.
+func (p *Predictor) Drift() DriftReport {
+	return DriftReport{
+		HLSeen: p.hlSeen, HLHit: p.hlHit,
+		NLSeen: p.nlSeen, NLHit: p.nlHit,
+		DistResets: p.distResets,
+		Enabled:    p.enabled,
+	}
+}
+
+// Reset rebuilds the predictor in place from a (re-)extracted feature
+// set, re-arming it if the calibrator had disabled it. This is the
+// model hot-swap path: the device handle, recorder attachment and
+// tuning parameters survive; every piece of model state — volume
+// models, thresholds, accuracy windows, the disable latch — is
+// reconstructed exactly as NewPredictor would build it.
+//
+// Like every other Predictor method, Reset must run on the goroutine
+// that owns the predictor.
+func (p *Predictor) Reset(f *extract.Features) {
+	np := NewPredictor(f, p.params)
+	np.rec, np.subject = p.rec, p.subject
+	*p = *np
+}
+
+// ConservativePredict is the static always-NL fallback prediction: the
+// exact answer Predict gives once the calibrator has disabled the
+// framework (the paper's harmless fallback), exposed so callers can
+// serve conservative predictions from a model they no longer trust
+// without waiting for the predictor's own kill switch. It reads no
+// model state and allocates nothing.
+func (p *Predictor) ConservativePredict(req blockdev.Request) Prediction {
+	base := p.params.NLWriteBase
+	if req.Op == blockdev.Read {
+		base = p.params.NLReadBase
+	}
+	return Prediction{HL: false, EET: base}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // featuresFileVersion guards the on-disk format; bump on incompatible
@@ -44,14 +45,30 @@ func LoadFeatures(r io.Reader) (*Features, string, error) {
 	return file.Features, file.Device, nil
 }
 
+// maxVolumeBits caps the number of volume-selector bits a features file
+// may claim: the predictor builds 1<<len(VolumeBits) volume models, so
+// an unchecked count is a memory bomb. Real devices in the paper show
+// at most a handful of bits.
+const maxVolumeBits = 16
+
 // Validate checks a Features value is usable as model input (saved files
-// may come from anywhere).
+// may come from anywhere, and re-diagnosis hot-swaps features straight
+// into a live predictor).
 func (f *Features) Validate() error {
 	if f.BufferBytes < 0 || f.SLCCachePages < 0 {
 		return fmt.Errorf("extract: negative sizes in features")
 	}
 	if f.ReadThreshold <= 0 || f.WriteThreshold <= 0 {
 		return fmt.Errorf("extract: non-positive latency thresholds")
+	}
+	if f.FlushOverhead < 0 || f.GCOverhead < 0 || f.SLCFoldOverhead < 0 {
+		return fmt.Errorf("extract: negative overheads in features")
+	}
+	if f.BufferKind < BufferUnknown || f.BufferKind > BufferFore {
+		return fmt.Errorf("extract: unknown buffer kind %d", f.BufferKind)
+	}
+	if len(f.VolumeBits) > maxVolumeBits {
+		return fmt.Errorf("extract: %d volume bits exceeds limit %d", len(f.VolumeBits), maxVolumeBits)
 	}
 	for i, b := range f.VolumeBits {
 		if b < 0 || b > 62 {
@@ -64,6 +81,21 @@ func (f *Features) Validate() error {
 	for _, a := range f.FlushAlgorithms {
 		if a != FlushFull && a != FlushReadTrigger {
 			return fmt.Errorf("extract: unknown flush algorithm %q", a)
+		}
+	}
+	for _, iv := range f.GCIntervalWrites {
+		if math.IsNaN(iv) || math.IsInf(iv, 0) || iv < 0 {
+			return fmt.Errorf("extract: GC interval %v not a finite non-negative count", iv)
+		}
+	}
+	for _, bt := range f.AllocScan {
+		if math.IsNaN(bt.MBps) || math.IsInf(bt.MBps, 0) || math.IsNaN(bt.Ratio) || math.IsInf(bt.Ratio, 0) {
+			return fmt.Errorf("extract: non-finite allocation scan entry for bit %d", bt.Bit)
+		}
+	}
+	for _, bp := range f.GCScan {
+		if math.IsNaN(bp.PValue) || math.IsInf(bp.PValue, 0) {
+			return fmt.Errorf("extract: non-finite GC scan p-value for bit %d", bp.Bit)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package extract
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -114,10 +115,52 @@ func TestPersistCorrupt(t *testing.T) {
 		"unknown flush algo": `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "FlushAlgorithms": ["sometimes"]}}`,
 		"wrong type":         `{"version": 1, "features": {"ReadThreshold": "soon"}}`,
 		"version zero":       `{"features": {"ReadThreshold": 1, "WriteThreshold": 1}}`,
+		"negative overhead":  `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "FlushOverhead": -5}}`,
+		"buffer kind range":  `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "BufferKind": 7}}`,
+		"negative interval":  `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "GCIntervalWrites": [100, -3]}}`,
+		"volume bit bomb":    `{"version": 1, "features": {"ReadThreshold": 1, "WriteThreshold": 1, "VolumeBits": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]}}`,
 	}
 	for name, c := range cases {
 		if _, _, err := LoadFeatures(strings.NewReader(c)); err == nil {
 			t.Errorf("%s: accepted %q", name, c)
+		}
+	}
+}
+
+// TestValidateRejectsNonFinite exercises corruptions JSON cannot carry
+// (NaN/Inf never survive Save) but that in-process callers — notably
+// re-diagnosis hot-swapping features into a live predictor — could
+// construct from degenerate probe data.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	rng := simclock.NewRNG(0xbad)
+	corrupt := map[string]func(*Features){
+		"NaN GC interval":  func(f *Features) { f.GCIntervalWrites = []float64{1000, math.NaN()} },
+		"+Inf GC interval": func(f *Features) { f.GCIntervalWrites = []float64{math.Inf(1)} },
+		"-Inf GC interval": func(f *Features) { f.GCIntervalWrites = []float64{math.Inf(-1)} },
+		"NaN alloc MBps":   func(f *Features) { f.AllocScan = []BitThroughput{{Bit: 14, MBps: math.NaN()}} },
+		"Inf alloc ratio":  func(f *Features) { f.AllocScan = []BitThroughput{{Bit: 14, Ratio: math.Inf(1)}} },
+		"NaN GC p-value":   func(f *Features) { f.GCScan = []BitPValue{{Bit: 14, PValue: math.NaN()}} },
+		"negative fold":    func(f *Features) { f.SLCFoldOverhead = -time.Millisecond },
+	}
+	for name, mutate := range corrupt {
+		f := randFeatures(rng)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: randFeatures produced invalid base: %v", name, err)
+		}
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupt features", name)
+		}
+	}
+}
+
+// TestValidateAcceptsRandomValid: every generator output must validate —
+// the round-trip property test above depends on it.
+func TestValidateAcceptsRandomValid(t *testing.T) {
+	rng := simclock.NewRNG(0x600d)
+	for i := 0; i < 500; i++ {
+		if err := randFeatures(rng).Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
 		}
 	}
 }

@@ -1,8 +1,8 @@
 // Package faults is a deterministic, seedable fault injector for
 // block devices: it wraps any blockdev.Device and makes it misbehave
 // the way hyperscale operators report real SSDs do — transient I/O
-// errors, latency storms, stuck-busy windows, fail-stop death, and
-// silent model drift.
+// errors, latency storms, stuck-busy windows, fail-stop death, silent
+// model drift, and firmware-update-like feature shifts.
 //
 // Everything is reproducible. Faults fire from schedules — at a fixed
 // request number, or per request with a probability drawn from an RNG
@@ -52,6 +52,13 @@ const (
 	// trigger point on, invalidating the timing model the predictor
 	// extracted so its calibrator has real drift to repair.
 	Drift
+	// FeatureShift silently changes the device's internal behavior
+	// (write-buffer size, buffer type, read-trigger flushing) at the
+	// trigger point — a firmware-update analog that invalidates the
+	// extracted structural model, not just its timing. It applies once,
+	// only to devices implementing blockdev.FeatureShifter, and does
+	// not distort the triggering request's latency.
+	FeatureShift
 )
 
 // String names the fault kind for logs and reports.
@@ -67,6 +74,8 @@ func (k Kind) String() string {
 		return "fail-stop"
 	case Drift:
 		return "drift"
+	case FeatureShift:
+		return "feature-shift"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -99,6 +108,11 @@ type Schedule struct {
 
 	// Pin is the minimum latency StuckBusy imposes (default 1s).
 	Pin time.Duration `json:"pin,omitempty"`
+
+	// Shift describes what a FeatureShift fault changes. Nil takes the
+	// default (halve the write buffer); a Shift with no effect set is a
+	// configuration error. Ignored by other kinds.
+	Shift *blockdev.FeatureShift `json:"shift,omitempty"`
 }
 
 func (s Schedule) withDefaults() Schedule {
@@ -121,12 +135,21 @@ func (s Schedule) withDefaults() Schedule {
 	if s.Pin == 0 {
 		s.Pin = time.Second
 	}
+	if s.Kind == FeatureShift && s.Shift == nil {
+		s.Shift = &blockdev.FeatureShift{BufferScale: 0.5}
+	}
 	return s
 }
 
 func (s Schedule) validate(i int) error {
-	if s.Kind > Drift {
+	if s.Kind > FeatureShift {
 		return fmt.Errorf("faults: schedule %d: unknown kind %d", i, s.Kind)
+	}
+	if s.Kind == FeatureShift && s.Shift != nil && s.Shift.Empty() {
+		return fmt.Errorf("faults: schedule %d (%s): shift changes nothing", i, s.Kind)
+	}
+	if s.Shift != nil && s.Shift.BufferScale < 0 {
+		return fmt.Errorf("faults: schedule %d (%s): negative BufferScale %v", i, s.Kind, s.Shift.BufferScale)
 	}
 	if (s.At > 0) == (s.Prob > 0) {
 		return fmt.Errorf("faults: schedule %d (%s): exactly one of At and Prob must be set", i, s.Kind)
@@ -183,13 +206,17 @@ type Stats struct {
 	Stuck int64 `json:"stuck"`
 	// FailStopped reports whether a fail-stop fault has triggered.
 	FailStopped bool `json:"fail_stopped"`
+	// FeatureShifts is the number of feature-shift faults applied to
+	// the wrapped device.
+	FeatureShifts int64 `json:"feature_shifts,omitempty"`
 }
 
 // schedState is a Schedule plus its firing state.
 type schedState struct {
 	Schedule
-	fired bool  // At-trigger consumed, or Prob window open
-	left  int64 // remaining affected requests in the open window
+	fired   bool  // At-trigger consumed, or Prob window open
+	left    int64 // remaining affected requests in the open window
+	applied bool  // feature shift delivered (one-shot latch)
 }
 
 // Injector wraps a device and injects the configured faults. It
@@ -198,10 +225,11 @@ type schedState struct {
 // path, since the infallible Submit can only render an injected error
 // as a timeout-class completion.
 type Injector struct {
-	dev    blockdev.Device
-	tagged blockdev.TaggedDevice // non-nil when dev exposes ground truth
-	rng    *simclock.RNG
-	scheds []schedState
+	dev     blockdev.Device
+	tagged  blockdev.TaggedDevice   // non-nil when dev exposes ground truth
+	shifter blockdev.FeatureShifter // non-nil when dev can shift features
+	rng     *simclock.RNG
+	scheds  []schedState
 
 	armed  bool
 	n      int64 // armed requests seen
@@ -228,6 +256,7 @@ func New(dev blockdev.Device, cfg Config) (*Injector, error) {
 	}
 	inj := &Injector{dev: dev, rng: simclock.NewRNG(cfg.Seed), armed: true}
 	inj.tagged, _ = dev.(blockdev.TaggedDevice)
+	inj.shifter, _ = dev.(blockdev.FeatureShifter)
 	for _, s := range cfg.Schedules {
 		inj.scheds = append(inj.scheds, schedState{Schedule: s.withDefaults()})
 	}
@@ -321,6 +350,22 @@ func (i *Injector) submit(req blockdev.Request, at simclock.Time) (simclock.Time
 				s.fired = true
 				s.left = s.Count
 			}
+		}
+	}
+
+	// Deliver feature shifts before anything serves: the triggering
+	// request already runs against the shifted device, silently — the
+	// host observes no error and no distorted latency, only a model
+	// that has quietly stopped matching reality. One-shot even for
+	// Prob triggers.
+	for k := range i.scheds {
+		s := &i.scheds[k]
+		if s.Kind != FeatureShift || !s.fired || s.applied {
+			continue
+		}
+		s.applied = true
+		if i.shifter != nil && i.shifter.ShiftFeatures(*s.Shift) {
+			i.stats.FeatureShifts++
 		}
 	}
 

@@ -188,13 +188,15 @@ func TestSubmitTaggedCauses(t *testing.T) {
 
 func TestValidate(t *testing.T) {
 	bad := []Config{
-		{Schedules: []Schedule{{Kind: Transient}}},                       // no trigger
-		{Schedules: []Schedule{{Kind: Transient, At: 5, Prob: 0.5}}},     // both triggers
-		{Schedules: []Schedule{{Kind: Transient, Prob: 1.5}}},            // prob > 1
-		{Schedules: []Schedule{{Kind: Transient, At: 5, Count: -1}}},     // negative count
-		{Schedules: []Schedule{{Kind: LatencyStorm, At: 5, Factor: -2}}}, // negative factor
-		{Schedules: []Schedule{{Kind: StuckBusy, At: 5, Pin: -1}}},       // negative pin
-		{Schedules: []Schedule{{Kind: Kind(42), At: 5}}},                 // unknown kind
+		{Schedules: []Schedule{{Kind: Transient}}},                                                             // no trigger
+		{Schedules: []Schedule{{Kind: Transient, At: 5, Prob: 0.5}}},                                           // both triggers
+		{Schedules: []Schedule{{Kind: Transient, Prob: 1.5}}},                                                  // prob > 1
+		{Schedules: []Schedule{{Kind: Transient, At: 5, Count: -1}}},                                           // negative count
+		{Schedules: []Schedule{{Kind: LatencyStorm, At: 5, Factor: -2}}},                                       // negative factor
+		{Schedules: []Schedule{{Kind: StuckBusy, At: 5, Pin: -1}}},                                             // negative pin
+		{Schedules: []Schedule{{Kind: Kind(42), At: 5}}},                                                       // unknown kind
+		{Schedules: []Schedule{{Kind: FeatureShift, At: 5, Shift: &blockdev.FeatureShift{}}}},                  // no-op shift
+		{Schedules: []Schedule{{Kind: FeatureShift, At: 5, Shift: &blockdev.FeatureShift{BufferScale: -0.5}}}}, // negative scale
 	}
 	for i, cfg := range bad {
 		if _, err := New(fixedDev{}, cfg); err == nil {
@@ -209,11 +211,75 @@ func TestValidate(t *testing.T) {
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		Transient: "transient", LatencyStorm: "latency-storm", StuckBusy: "stuck-busy",
-		FailStop: "fail-stop", Drift: "drift", Kind(9): "kind(9)",
+		FailStop: "fail-stop", Drift: "drift", FeatureShift: "feature-shift", Kind(9): "kind(9)",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String()=%q want %q", k, got, want)
 		}
+	}
+}
+
+// shiftDev records feature shifts applied to it.
+type shiftDev struct {
+	fixedDev
+	shifts []blockdev.FeatureShift
+}
+
+func (d *shiftDev) ShiftFeatures(s blockdev.FeatureShift) bool {
+	d.shifts = append(d.shifts, s)
+	return true
+}
+
+func TestFeatureShiftAppliesOnceAndSilently(t *testing.T) {
+	dev := &shiftDev{}
+	inj := MustNew(dev, Config{Schedules: []Schedule{{
+		Kind: FeatureShift, At: 3,
+		Shift: &blockdev.FeatureShift{BufferScale: 0.25, ToggleReadTrigger: true},
+	}}})
+	log := drive(inj, 6)
+	for i, got := range log {
+		if got != "ok:100µs" {
+			t.Fatalf("request %d distorted by feature shift: %s", i, got)
+		}
+	}
+	if len(dev.shifts) != 1 {
+		t.Fatalf("shift applied %d times, want once", len(dev.shifts))
+	}
+	if s := dev.shifts[0]; s.BufferScale != 0.25 || !s.ToggleReadTrigger || s.ToggleBufferKind {
+		t.Errorf("wrong shift delivered: %+v", s)
+	}
+	if st := inj.Stats(); st.FeatureShifts != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFeatureShiftDefaultsToHalvedBuffer(t *testing.T) {
+	dev := &shiftDev{}
+	inj := MustNew(dev, Config{Schedules: []Schedule{{Kind: FeatureShift, At: 1}}})
+	drive(inj, 2)
+	if len(dev.shifts) != 1 || dev.shifts[0].BufferScale != 0.5 {
+		t.Fatalf("default shift %+v, want buffer halved once", dev.shifts)
+	}
+}
+
+func TestFeatureShiftOnUnshiftableDevice(t *testing.T) {
+	inj := MustNew(fixedDev{}, Config{Schedules: []Schedule{{Kind: FeatureShift, At: 1}}})
+	for i, got := range drive(inj, 3) {
+		if got != "ok:100µs" {
+			t.Fatalf("request %d: %s", i, got)
+		}
+	}
+	if st := inj.Stats(); st.FeatureShifts != 0 {
+		t.Errorf("shift counted on a device that cannot shift: %+v", st)
+	}
+}
+
+func TestFeatureShiftOneShotUnderProb(t *testing.T) {
+	dev := &shiftDev{}
+	inj := MustNew(dev, Config{Seed: 7, Schedules: []Schedule{{Kind: FeatureShift, Prob: 0.2}}})
+	drive(inj, 500)
+	if len(dev.shifts) != 1 {
+		t.Fatalf("prob-triggered shift applied %d times, want one-shot", len(dev.shifts))
 	}
 }

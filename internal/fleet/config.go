@@ -221,6 +221,99 @@ func (p HealthPolicy) validate() error {
 	return nil
 }
 
+// ModelPolicy tunes the per-device model-health state machine: the
+// drift watchdog layered on the predictor's sliding accuracy windows,
+// the conservative fallback, and the budgeted online re-diagnosis (see
+// ModelHealth for the state diagram). Streak thresholds count served
+// completions on the device's own request stream, so the machine is
+// deterministic across shard counts.
+type ModelPolicy struct {
+	// Disabled turns the whole model-health machine off: devices stay
+	// calibrated forever and always serve live predictions.
+	Disabled bool
+
+	// FloorHL is the sliding HL accuracy under which a calibrated
+	// device is declared drifting (once MinSamples HL observations are
+	// in the window), and under which a spent drift budget condemns
+	// the model to fallback. 0 defaults to 0.45 — above the
+	// calibrator's own distribution-reset rung (0.35) so drift is
+	// flagged before the ladder starts discarding history, but under
+	// the steady-state accuracy of every built-in preset.
+	FloorHL float64
+
+	// MinSamples is the HL window population required before FloorHL
+	// and RecoverAboveHL apply. It must sit under the calibrator's own
+	// DisableMinSamples: the calibration ladder halves the windows on
+	// every check and zeroes them on a distribution reset. 0 defaults
+	// to 160.
+	MinSamples int
+
+	// RecoverAboveHL is the sliding HL accuracy at which a drifting
+	// device re-calibrates without re-diagnosis (hysteresis against
+	// flapping around the floor). 0 defaults to 0.75.
+	RecoverAboveHL float64
+
+	// FallbackAfter is how many served completions a device may spend
+	// drifting before it falls back to conservative predictions. 0
+	// defaults to 512.
+	FallbackAfter int
+
+	// RediagAfter is how many conservative completions a fallback
+	// device serves before an automatic re-diagnosis starts. 0
+	// defaults to 64; negative disables automatic re-diagnosis
+	// (operator-initiated Rediagnose still works).
+	RediagAfter int
+
+	// RediagBudget bounds the re-diagnosis probes: it is the GC
+	// interval count of the budgeted cadence probe. 0 defaults to 12.
+	RediagBudget int
+
+	// MaxRediags caps automatic re-diagnosis attempts per device;
+	// after the cap, fallback is terminal (still overridable via
+	// Rediagnose). 0 defaults to 8.
+	MaxRediags int
+}
+
+func (p ModelPolicy) withDefaults() ModelPolicy {
+	if p.FloorHL == 0 {
+		p.FloorHL = 0.45
+	}
+	if p.MinSamples == 0 {
+		p.MinSamples = 160
+	}
+	if p.RecoverAboveHL == 0 {
+		p.RecoverAboveHL = 0.75
+	}
+	if p.FallbackAfter == 0 {
+		p.FallbackAfter = 512
+	}
+	if p.RediagAfter == 0 {
+		p.RediagAfter = 64
+	}
+	if p.RediagBudget == 0 {
+		p.RediagBudget = 12
+	}
+	if p.MaxRediags == 0 {
+		p.MaxRediags = 8
+	}
+	return p
+}
+
+func (p ModelPolicy) validate() error {
+	if p.FloorHL < 0 || p.FloorHL > 1 || p.RecoverAboveHL < 0 || p.RecoverAboveHL > 1 {
+		return fmt.Errorf("fleet: model accuracy bounds outside [0, 1]")
+	}
+	if p.RecoverAboveHL != 0 && p.FloorHL != 0 && p.RecoverAboveHL < p.FloorHL {
+		return fmt.Errorf("fleet: model recovery bound %v under drift floor %v", p.RecoverAboveHL, p.FloorHL)
+	}
+	for _, v := range []int{p.MinSamples, p.FallbackAfter, p.RediagBudget, p.MaxRediags} {
+		if v < 0 {
+			return fmt.Errorf("fleet: negative model threshold")
+		}
+	}
+	return nil
+}
+
 // Config parameterizes a fleet manager.
 type Config struct {
 	// Devices lists the fleet members. IDs must be unique.
@@ -252,6 +345,11 @@ type Config struct {
 	// probes. The zero value takes the standard defaults.
 	Health HealthPolicy
 
+	// Model tunes the per-device model-health machine: drift watchdog,
+	// conservative fallback, and online re-diagnosis. The zero value
+	// takes the standard defaults.
+	Model ModelPolicy
+
 	// Registry receives the fleet's metrics (request/error/retry
 	// counters, health gauges, latency histograms), which the daemon
 	// exposes in Prometheus text format. nil builds a private registry
@@ -267,6 +365,7 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	c.Retry = c.Retry.withDefaults()
 	c.Health = c.Health.withDefaults()
+	c.Model = c.Model.withDefaults()
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -327,7 +426,10 @@ func (c Config) Validate() error {
 	if err := c.Retry.validate(); err != nil {
 		return err
 	}
-	return c.Health.validate()
+	if err := c.Health.validate(); err != nil {
+		return err
+	}
+	return c.Model.validate()
 }
 
 // PresetDevices builds n device specs cycling through the given preset

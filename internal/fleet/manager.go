@@ -37,7 +37,7 @@ type Manager struct {
 	closed    bool
 
 	// Fleet-level registry gauges, refreshed by Metrics().
-	gDevices, gShards, gUnhealthy *obs.Gauge
+	gDevices, gShards, gUnhealthy, gFallback *obs.Gauge
 }
 
 // New builds the fleet: it constructs every device (wrapping it in a
@@ -59,6 +59,7 @@ func New(cfg Config) (*Manager, error) {
 		gDevices:   cfg.Registry.Gauge("ssdcheck_fleet_devices", "Configured fleet size."),
 		gShards:    cfg.Registry.Gauge("ssdcheck_fleet_shards", "Worker-pool size."),
 		gUnhealthy: cfg.Registry.Gauge("ssdcheck_fleet_unhealthy_devices", "Devices currently quarantined or recovering."),
+		gFallback:  cfg.Registry.Gauge("ssdcheck_fleet_fallback_models", "Devices currently serving conservative fallback predictions."),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		m.shards = append(m.shards, &shard{id: i, reqs: make(chan shardBatch, cfg.QueueDepth)})
@@ -91,6 +92,8 @@ func New(cfg Config) (*Manager, error) {
 			stats:   newDeviceStats(cfg.Registry, spec.ID),
 			healthG: cfg.Registry.Gauge("ssdcheck_device_health", "Health state (0=healthy 1=degraded 2=quarantined 3=recovering).", obs.Label{Name: "device", Value: spec.ID}),
 			clockG:  cfg.Registry.Gauge("ssdcheck_device_clock_ns", "Device virtual clock, nanoseconds.", obs.Label{Name: "device", Value: spec.ID}),
+			modelG:  cfg.Registry.Gauge("ssdcheck_device_model_health", "Model-health state (0=calibrated 1=drifting 2=fallback 3=rediagnosing).", obs.Label{Name: "device", Value: spec.ID}),
+			rediagH: cfg.Registry.Histogram("ssdcheck_rediag_duration_seconds", "Re-diagnosis duration on the device's virtual clock.", obs.Label{Name: "device", Value: spec.ID}),
 		}
 		if spec.Faults != nil {
 			inj, err := faults.New(dev, *spec.Faults)
@@ -256,6 +259,76 @@ func (m *Manager) DeviceHealth(id string) (HealthReport, bool) {
 	}, true
 }
 
+// DeviceModel returns one device's model view: model-health state,
+// sliding accuracy windows, fallback/re-diagnosis counters, and the
+// full model-transition log.
+func (m *Manager) DeviceModel(id string) (ModelReport, bool) {
+	md, ok := m.devs[id]
+	if !ok {
+		return ModelReport{}, false
+	}
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	md.flushObsLocked()
+	return ModelReport{
+		ID:               md.id,
+		ModelHealth:      md.modelHealth,
+		PredictorEnabled: md.enabled,
+		HLAccuracy:       md.driftRep.HLAccuracy(),
+		NLAccuracy:       md.driftRep.NLAccuracy(),
+		HLWindow:         md.driftRep.HLSeen,
+		DistResets:       md.driftRep.DistResets,
+		FallbackServed:   md.fallbackServed,
+		Rediags:          md.rediags,
+		Transitions:      append([]ModelTransition(nil), md.modelLog...),
+	}, true
+}
+
+// ModelLog returns every device's model-transition log in
+// configuration order. Like HealthLog, the marshaled log is
+// byte-identical across runs and shard counts given deterministic
+// per-device request streams.
+func (m *Manager) ModelLog() []DeviceModelLog {
+	out := make([]DeviceModelLog, 0, len(m.order))
+	for _, id := range m.order {
+		md := m.devs[id]
+		md.mu.Lock()
+		out = append(out, DeviceModelLog{
+			ID:          md.id,
+			ModelHealth: md.modelHealth,
+			Transitions: append([]ModelTransition(nil), md.modelLog...),
+		})
+		md.mu.Unlock()
+	}
+	return out
+}
+
+// Rediagnose forces a full re-diagnosis of one device, synchronously,
+// on its owning shard — the operator path behind the daemon's POST
+// /v1/devices/{id}/rediagnose. It returns once the probe finishes: nil
+// when a fresh predictor was hot-swapped in, an error when the device
+// is unknown, quarantined, or the re-diagnosis failed (the device then
+// serves conservative fallback predictions).
+func (m *Manager) Rediagnose(id string) error {
+	md, ok := m.devs[id]
+	if !ok {
+		return fmt.Errorf("device %q: %w", id, ErrUnknownDevice)
+	}
+
+	var wg sync.WaitGroup
+	var err error
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return ErrManagerClosed
+	}
+	wg.Add(1)
+	m.shards[md.shard].reqs <- shardBatch{rediag: md, rediagErr: &err, wg: &wg}
+	m.mu.RUnlock()
+	wg.Wait()
+	return err
+}
+
 // HealthLog returns every device's health-transition log in
 // configuration order. With deterministic per-device request streams
 // and fault schedules, the marshaled log is byte-identical across
@@ -286,16 +359,23 @@ func (m *Manager) HealthLog() []DeviceHealthLog {
 func (m *Manager) Metrics() Metrics {
 	var c, acc Counters
 	var merged obs.HistogramSnapshot
-	unhealthy := 0
+	unhealthy, fallback := 0, 0
 	for _, id := range m.order {
 		md := m.devs[id]
 		md.mu.Lock()
 		md.flushObsLocked()
 		devCounters := md.counters()
 		c = c.add(devCounters)
+		inFallback := md.modelHealth == ModelFallback || md.modelHealth == ModelRediagnosing
+		if inFallback {
+			fallback++
+		}
 		if md.health == Quarantined || md.health == Recovering {
 			unhealthy++
-		} else {
+		} else if !inFallback {
+			// Fallback devices serve deliberately conservative
+			// predictions; including them would smear the fleet
+			// accuracy figures with known-degraded models.
 			acc = acc.add(devCounters)
 		}
 		merged.Merge(md.stats.lat.Snapshot())
@@ -304,10 +384,12 @@ func (m *Manager) Metrics() Metrics {
 	m.gDevices.Set(int64(len(m.order)))
 	m.gShards.Set(int64(m.cfg.Shards))
 	m.gUnhealthy.Set(int64(unhealthy))
+	m.gFallback.Set(int64(fallback))
 	return Metrics{
 		Devices:          len(m.order),
 		Shards:           m.cfg.Shards,
 		UnhealthyDevices: unhealthy,
+		FallbackModels:   fallback,
 		Counters:         c,
 		HLRate:           c.HLRate(),
 		HLAccuracy:       acc.HLAccuracy(),

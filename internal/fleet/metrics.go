@@ -32,6 +32,11 @@ const (
 	statProbes      // recovery-probe attempts
 	statTransitions // health state-machine edges taken
 
+	// Model-health tallies.
+	statFallback         // completions served with conservative predictions
+	statRediags          // completed re-diagnosis attempts
+	statModelTransitions // model-health state-machine edges taken
+
 	numStats
 )
 
@@ -81,6 +86,9 @@ func newDeviceStats(reg *obs.Registry, id string) deviceStats {
 	d.series[statTimeouts] = c("ssdcheck_request_timeouts_total", "Served completions at or over the request deadline.")
 	d.series[statProbes] = c("ssdcheck_recovery_probes_total", "Recovery-probe attempts.")
 	d.series[statTransitions] = c("ssdcheck_health_transitions_total", "Health state-machine edges taken.")
+	d.series[statFallback] = c("ssdcheck_fallback_served_total", "Completions served with conservative fallback predictions.")
+	d.series[statRediags] = c("ssdcheck_rediags_total", "Completed re-diagnosis attempts.")
+	d.series[statModelTransitions] = c("ssdcheck_model_transitions_total", "Model-health state-machine edges taken.")
 	return d
 }
 
@@ -171,6 +179,12 @@ type Counters struct {
 	Retries  int64 `json:"retries"`
 	Timeouts int64 `json:"timeouts"`
 	Probes   int64 `json:"probes"`
+
+	// Model-health counters: Fallback counts completions served with
+	// conservative predictions, Rediags completed re-diagnosis
+	// attempts.
+	Fallback int64 `json:"fallback"`
+	Rediags  int64 `json:"rediags"`
 }
 
 func (c Counters) add(o Counters) Counters {
@@ -188,6 +202,8 @@ func (c Counters) add(o Counters) Counters {
 	c.Retries += o.Retries
 	c.Timeouts += o.Timeouts
 	c.Probes += o.Probes
+	c.Fallback += o.Fallback
+	c.Rediags += o.Rediags
 	return c
 }
 
@@ -228,6 +244,10 @@ type DeviceSnapshot struct {
 	// Health is the device's position in the resilience state machine.
 	Health Health `json:"health"`
 
+	// ModelHealth is the device's position in the model-health state
+	// machine (see ModelHealth).
+	ModelHealth ModelHealth `json:"model_health"`
+
 	Counters   Counters       `json:"counters"`
 	HLRate     float64        `json:"hl_rate"`
 	HLAccuracy float64        `json:"hl_accuracy"`
@@ -250,6 +270,7 @@ type Metrics struct {
 	Devices          int            `json:"devices"`
 	Shards           int            `json:"shards"`
 	UnhealthyDevices int            `json:"unhealthy_devices"`
+	FallbackModels   int            `json:"fallback_models"`
 	Counters         Counters       `json:"counters"`
 	HLRate           float64        `json:"hl_rate"`
 	HLAccuracy       float64        `json:"hl_accuracy"`
@@ -269,6 +290,7 @@ func (md *managedDevice) snapshot() DeviceSnapshot {
 		Preset:           md.spec.Preset,
 		Shard:            md.shard,
 		Health:           md.health,
+		ModelHealth:      md.modelHealth,
 		Counters:         c,
 		HLRate:           c.HLRate(),
 		HLAccuracy:       c.HLAccuracy(),
@@ -298,5 +320,7 @@ func (md *managedDevice) counters() Counters {
 		Retries:     d.vals[statRetries],
 		Timeouts:    d.vals[statTimeouts],
 		Probes:      d.vals[statProbes],
+		Fallback:    d.vals[statFallback],
+		Rediags:     d.vals[statRediags],
 	}
 }

@@ -34,11 +34,20 @@ type managedDevice struct {
 	rng      *simclock.RNG // retry jitter + recovery-probe addresses
 
 	// rec receives sampled request traces and health events; never nil
-	// (defaults to obs.Nop()). healthG/clockG mirror the device's
-	// state into registry gauges.
+	// (defaults to obs.Nop()). healthG/clockG/modelG mirror the
+	// device's state into registry gauges; rediagH times re-diagnoses.
 	rec     obs.Recorder
 	healthG *obs.Gauge
 	clockG  *obs.Gauge
+	modelG  *obs.Gauge
+	rediagH *obs.Histogram
+
+	// feats is the device's current feature baseline (seeded by init,
+	// replaced on every successful re-diagnosis); rediag is the
+	// in-flight staged re-diagnosis. Both are touched only by the
+	// owning shard goroutine.
+	feats  *extract.Features
+	rediag *rediagRun
 
 	mu    sync.Mutex
 	stats deviceStats
@@ -51,11 +60,18 @@ type managedDevice struct {
 	consecOK   int
 	rejections int64 // rejected since quarantine; triggers recovery probes
 	translog   []HealthTransition
+	// Model-health state machine (same locking discipline as health).
+	modelHealth    ModelHealth
+	driftAge       int   // served completions spent drifting
+	fallbackServed int64 // conservative completions since entering fallback
+	rediags        int   // completed re-diagnosis attempts
+	modelLog       []ModelTransition
 	// Cached predictor state, refreshed by the shard after every
 	// request so readers never touch the (non-thread-safe) predictor.
-	enabled bool
-	model   core.ModelState
-	clock   simclock.Time
+	enabled  bool
+	model    core.ModelState
+	clock    simclock.Time
+	driftRep core.DriftReport
 }
 
 // init preconditions and diagnoses the device, then builds its
@@ -77,6 +93,7 @@ func (md *managedDevice) init(cfg Config) error {
 			return err
 		}
 	}
+	md.feats = feats
 	md.pr = core.NewPredictor(feats, md.spec.Params)
 	md.pr.SetRecorder(md.rec, md.id)
 	md.rng = simclock.NewRNG(md.spec.Seed ^ 0x5afe) // device-private resilience stream
@@ -108,6 +125,10 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	md.seq++
 	seq := md.seq
 	sampled := md.rec.Sampled(md.id, seq)
+	// Fallback devices serve conservative predictions; only the owning
+	// shard mutates modelHealth, so this capture stays valid for the
+	// whole request.
+	fallback := md.modelHealth == ModelFallback || md.modelHealth == ModelRediagnosing
 	var spans []obs.Span
 	span := func(name string, start, end simclock.Time) {
 		if sampled {
@@ -139,7 +160,12 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	}
 	span("route", md.now, md.now)
 
-	pred := md.pr.Predict(req, md.now)
+	var pred core.Prediction
+	if fallback {
+		pred = md.pr.ConservativePredict(req)
+	} else {
+		pred = md.pr.Predict(req, md.now)
+	}
 	span("predict", md.now, md.now)
 
 	// Submit with bounded retry: transient failures back off
@@ -187,10 +213,12 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 
 	lat := done.Sub(submitAt)
 	timedOut := lat >= cfg.Health.RequestTimeout
-	if !timedOut {
+	if !timedOut && !fallback {
 		// Timeout-class completions are withheld from the model: a
 		// stuck or storming device would otherwise poison the
-		// calibrator it needs for recovery.
+		// calibrator it needs for recovery. Fallback-mode completions
+		// are withheld too — the predictor is condemned, and feeding it
+		// would skew the windows the post-swap model starts from.
 		md.pr.Observe(req, submitAt, done)
 		span("calibrate", done, done)
 	}
@@ -203,8 +231,13 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		CompletedAt: done,
 		Retries:     retries,
 		TimedOut:    timedOut,
+		Fallback:    fallback,
 	}
 	md.now = done
+
+	// Drift snapshot for the watchdog; allocation-free, taken outside
+	// md.mu because the predictor is shard-owned.
+	drift := md.pr.Drift()
 
 	md.mu.Lock()
 	md.stats.record(req, pred.HL, lat, res.ObservedHL)
@@ -212,10 +245,22 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	if timedOut {
 		md.stats.vals[statTimeouts]++
 	}
+	if fallback {
+		md.stats.vals[statFallback]++
+		md.fallbackServed++
+	}
 	md.noteOutcomeLocked(nil, timedOut, cfg.Health)
+	md.noteModelLocked(drift, cfg.Model)
+	rediagActive := md.modelHealth == ModelRediagnosing
 	md.publishLocked()
 	md.mu.Unlock()
 	md.recordTrace(req, seq, sampled, spans, pred, res)
+	if rediagActive {
+		// Advance the staged re-diagnosis after the live request, so
+		// probe traffic interleaves with serving without dropping or
+		// reordering anything.
+		md.rediagStep(cfg)
+	}
 	return res
 }
 
@@ -256,6 +301,7 @@ func (md *managedDevice) publishLocked() {
 	md.enabled = md.pr.Enabled()
 	md.model = md.pr.State(0)
 	md.clock = md.now
+	md.driftRep = md.pr.Drift()
 }
 
 // flushObsLocked pushes the device's plain tallies and state gauges
@@ -266,7 +312,8 @@ func (md *managedDevice) publishLocked() {
 func (md *managedDevice) flushObsLocked() {
 	md.stats.flushLocked()
 	md.healthG.Set(int64(md.health))
-	md.clockG.Set(int64(md.now))
+	md.clockG.Set(int64(md.clock))
+	md.modelG.Set(int64(md.modelHealth))
 }
 
 // errResult builds a failed per-request result, mirroring the error
@@ -293,6 +340,10 @@ type Result struct {
 	CompletedAt simclock.Time `json:"completed_at_ns"`
 	// Retries counts transient-error retries this request consumed.
 	Retries int `json:"retries,omitempty"`
+	// Fallback marks a prediction served conservatively (static
+	// always-NL) because the device's model health is fallback or
+	// rediagnosing; schedulers should deprioritize it.
+	Fallback bool `json:"fallback,omitempty"`
 	// TimedOut marks a completion at or over the request deadline.
 	TimedOut bool `json:"timed_out,omitempty"`
 	// Err is the request's failure, nil on success. It wraps one of
@@ -316,15 +367,19 @@ type batchItem struct {
 }
 
 // shardBatch is the unit of work a shard receives: a slice of items to
-// process in order, writing each result into its own slot of out, or —
+// process in order, writing each result into its own slot of out; or —
 // when probe is set — a sweep that recovery-probes the shard's
-// quarantined devices. Slots are disjoint across shards, and wg
-// publishes the writes to the caller.
+// quarantined devices; or — when rediag is set — a synchronous forced
+// re-diagnosis of one device, its error written through rediagErr.
+// Slots are disjoint across shards, and wg publishes the writes to the
+// caller.
 type shardBatch struct {
-	items []batchItem
-	out   []Result
-	wg    *sync.WaitGroup
-	probe bool
+	items     []batchItem
+	out       []Result
+	wg        *sync.WaitGroup
+	probe     bool
+	rediag    *managedDevice
+	rediagErr *error
 }
 
 // shard owns a disjoint subset of the fleet's devices and processes
@@ -338,6 +393,11 @@ type shard struct {
 func (s *shard) run(done *sync.WaitGroup, cfg Config) {
 	defer done.Done()
 	for b := range s.reqs {
+		if b.rediag != nil {
+			*b.rediagErr = b.rediag.forceRediag(cfg)
+			b.wg.Done()
+			continue
+		}
 		if b.probe {
 			for _, md := range s.devs {
 				md.mu.Lock()

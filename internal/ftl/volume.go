@@ -298,3 +298,33 @@ func (v *Volume) checkMonotonic(at simclock.Time) {
 func worse(a, b blockdev.Cause) blockdev.Cause {
 	return blockdev.WorseCause(a, b)
 }
+
+// ShiftFeatures changes the volume's write-buffer behavior mid-run —
+// the firmware-update analog behind the feature-shift fault. Safe at
+// any point between requests: the buffer capacity, type and
+// read-trigger flag are consulted on every request, a shrunken capacity
+// simply makes the next write flush early, and a grown one lets the
+// buffer slice extend past its original allocation.
+func (v *Volume) ShiftFeatures(shift blockdev.FeatureShift) bool {
+	if shift.Empty() {
+		return false
+	}
+	if shift.BufferScale > 0 && shift.BufferScale != 1 {
+		pages := int(float64(v.cfg.BufferPages) * shift.BufferScale)
+		if pages < 1 {
+			pages = 1
+		}
+		v.cfg.BufferPages = pages
+	}
+	if shift.ToggleBufferKind {
+		if v.cfg.BufferType == BufferBack {
+			v.cfg.BufferType = BufferFore
+		} else {
+			v.cfg.BufferType = BufferBack
+		}
+	}
+	if shift.ToggleReadTrigger {
+		v.cfg.ReadTriggerFlush = !v.cfg.ReadTriggerFlush
+	}
+	return true
+}

@@ -338,3 +338,51 @@ func TestPASRecordsPromotions(t *testing.T) {
 		t.Fatalf("pas_promote count after FIFO dispatch = %d, want 1", got)
 	}
 }
+
+// TestPASFallbackPredictorIsFIFO is the fleet fallback regression: a
+// predictor the calibrator has condemned — exactly what a fleet device
+// in fallback mode serves from — must never poison scheduling. PAS
+// degrades to pure FIFO and records zero promotions.
+func TestPASFallbackPredictorIsFIFO(t *testing.T) {
+	feats := &extract.Features{
+		BufferBytes:     128 * 1024,
+		BufferKind:      extract.BufferBack,
+		FlushAlgorithms: []extract.FlushAlgorithm{extract.FlushFull},
+		ReadThreshold:   200 * time.Microsecond,
+		WriteThreshold:  150 * time.Microsecond,
+		FlushOverhead:   time.Millisecond,
+		GCOverhead:      30 * time.Millisecond,
+	}
+	pr := core.NewPredictor(feats, core.Params{DisableMinSamples: 50})
+	// Condemn it: unpredictable HL stalls until the calibrator's
+	// degradation ladder disables prediction.
+	req := blockdev.Request{Op: blockdev.Write, LBA: 0, Sectors: 8}
+	now := simclock.Time(0)
+	for i := 0; i < 5000 && pr.Enabled(); i++ {
+		done := now.Add(3 * time.Millisecond)
+		pr.Observe(req, now, done)
+		now = done.Add(time.Millisecond)
+	}
+	if pr.Enabled() {
+		t.Fatal("predictor failed to disable under hopeless accuracy")
+	}
+
+	reg := obs.NewRegistry()
+	p := NewPAS(pr)
+	p.SetRecorder(obs.Observer{Reg: reg})
+	p.Add(item(1, blockdev.Write, 0))
+	p.Add(item(2, blockdev.Write, 1))
+	p.Add(item(3, blockdev.Read, 2))
+	for want := uint64(1); want <= 3; want++ {
+		it, ok := p.Next(simclock.Time(10))
+		if !ok || it.Seq != want {
+			t.Fatalf("fallback PAS broke FIFO: got seq %v ok=%v want %d", it.Seq, ok, want)
+		}
+	}
+	promotions := reg.Counter("ssdcheck_events_total", "",
+		obs.Label{Name: "event", Value: "pas_promote"},
+		obs.Label{Name: "subject", Value: "pas"})
+	if got := promotions.Value(); got != 0 {
+		t.Fatalf("fallback PAS recorded %d promotions, want 0", got)
+	}
+}

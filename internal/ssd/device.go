@@ -174,9 +174,37 @@ func (d *Device) buildBitSegments() {
 }
 
 var (
-	_ blockdev.Device       = (*Device)(nil)
-	_ blockdev.TaggedDevice = (*Device)(nil)
+	_ blockdev.Device         = (*Device)(nil)
+	_ blockdev.TaggedDevice   = (*Device)(nil)
+	_ blockdev.FeatureShifter = (*Device)(nil)
 )
+
+// ShiftFeatures applies a mid-run behavior change (a simulated firmware
+// update) uniformly to every internal volume and mirrors the new
+// buffer parameters into the device config, so Config() keeps
+// describing the device as it now behaves. Optimal devices have no
+// internal behavior to shift and report false.
+func (d *Device) ShiftFeatures(shift blockdev.FeatureShift) bool {
+	if d.cfg.Optimal || shift.Empty() {
+		return false
+	}
+	applied := false
+	for _, v := range d.vols {
+		if v.ShiftFeatures(shift) {
+			applied = true
+		}
+	}
+	if !applied {
+		return false
+	}
+	// All volumes share one config, so mirroring the first volume's
+	// post-shift buffer parameters describes them all.
+	vc := d.vols[0].Config()
+	d.cfg.BufferBytes = vc.BufferPages * blockdev.PageSize
+	d.cfg.BufferType = vc.BufferType
+	d.cfg.ReadTriggerFlush = vc.ReadTriggerFlush
+	return true
+}
 
 // New builds a device from cfg. The returned Device is not safe for
 // concurrent use; see the Device type documentation and internal/fleet.

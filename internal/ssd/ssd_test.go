@@ -346,3 +346,59 @@ func TestPurgeMultiVolume(t *testing.T) {
 		}
 	}
 }
+
+func TestShiftFeaturesChangesBufferBehavior(t *testing.T) {
+	d := MustNew(PresetA(5))
+	before := d.Config()
+
+	// Halving the buffer and flipping to fore-type must stick in the
+	// config mirror.
+	if !d.ShiftFeatures(blockdev.FeatureShift{BufferScale: 0.5, ToggleBufferKind: true}) {
+		t.Fatal("shift on a shiftable device reported false")
+	}
+	after := d.Config()
+	if after.BufferBytes != before.BufferBytes/2 {
+		t.Fatalf("buffer %d after halving %d", after.BufferBytes, before.BufferBytes)
+	}
+	if after.BufferType == before.BufferType {
+		t.Fatal("buffer type did not flip")
+	}
+	if !d.ShiftFeatures(blockdev.FeatureShift{ToggleReadTrigger: true}) {
+		t.Fatal("read-trigger toggle reported false")
+	}
+	if d.Config().ReadTriggerFlush == before.ReadTriggerFlush {
+		t.Fatal("read-trigger flag did not flip")
+	}
+
+	// Empty shifts are no-ops.
+	if d.ShiftFeatures(blockdev.FeatureShift{}) || d.ShiftFeatures(blockdev.FeatureShift{BufferScale: 1}) {
+		t.Fatal("empty shift reported applied")
+	}
+
+	// The device still works and the shifted behavior is observable:
+	// with read-trigger flushing on, a read after a write is delayed.
+	now := d.Purge(0)
+	now = d.Submit(blockdev.Request{Op: blockdev.Write, LBA: 0, Sectors: 8}, now)
+	_, cause := d.SubmitTagged(blockdev.Request{Op: blockdev.Read, LBA: 1 << 16, Sectors: 8}, now)
+	if d.Config().ReadTriggerFlush && cause != blockdev.CauseReadTrigger && cause != blockdev.CauseGC {
+		t.Fatalf("read-trigger shift not observable, cause=%v", cause)
+	}
+}
+
+func TestShiftFeaturesOptimalDeclines(t *testing.T) {
+	d := MustNew(ProtoOptimal(5))
+	if d.ShiftFeatures(blockdev.FeatureShift{BufferScale: 0.5}) {
+		t.Fatal("optimal device accepted a feature shift")
+	}
+}
+
+func TestShiftFeaturesBufferFloor(t *testing.T) {
+	d := MustNew(PresetA(5))
+	// Scaling far below one page floors at a single page, never zero.
+	if !d.ShiftFeatures(blockdev.FeatureShift{BufferScale: 1e-9}) {
+		t.Fatal("tiny scale reported false")
+	}
+	if got := d.Config().BufferBytes; got != blockdev.PageSize {
+		t.Fatalf("buffer floored at %d bytes, want one page", got)
+	}
+}

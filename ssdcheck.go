@@ -284,6 +284,19 @@ type (
 	RetryPolicy = fleet.RetryPolicy
 	// HealthPolicy tunes the health state machine and recovery probes.
 	HealthPolicy = fleet.HealthPolicy
+
+	// FeatureShift describes a mid-run change to a device's extractable
+	// behavior — the black-box analog of a firmware update that
+	// silently invalidates a diagnosed model.
+	FeatureShift = blockdev.FeatureShift
+	// ModelHealth is a fleet device's model-lifecycle state.
+	ModelHealth = fleet.ModelHealth
+	// ModelTransition is one logged edge of the model-health machine.
+	ModelTransition = fleet.ModelTransition
+	// ModelReport is the detailed per-device model-health view.
+	ModelReport = fleet.ModelReport
+	// ModelPolicy tunes the drift watchdog, fallback and re-diagnosis.
+	ModelPolicy = fleet.ModelPolicy
 )
 
 // The injectable fault classes.
@@ -293,6 +306,7 @@ const (
 	FaultStuckBusy    = faults.StuckBusy
 	FaultFailStop     = faults.FailStop
 	FaultDrift        = faults.Drift
+	FaultFeatureShift = faults.FeatureShift
 )
 
 // Health states of a fleet device.
@@ -301,6 +315,16 @@ const (
 	DeviceDegraded    = fleet.Degraded
 	DeviceQuarantined = fleet.Quarantined
 	DeviceRecovering  = fleet.Recovering
+)
+
+// Model-health states of a fleet device's predictor (calibrated →
+// drifting → fallback → rediagnosing; re-diagnosis hot-swaps back to
+// calibrated).
+const (
+	ModelCalibrated   = fleet.ModelCalibrated
+	ModelDrifting     = fleet.ModelDrifting
+	ModelFallback     = fleet.ModelFallback
+	ModelRediagnosing = fleet.ModelRediagnosing
 )
 
 // Typed failure sentinels, errors.Is-compatible.
