@@ -257,6 +257,75 @@ func BenchmarkFleetSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSubmit measures cluster fan-out throughput
+// (predictions per wall second across a 16-device fleet placed on
+// 1/2/4 nodes behind the coordinator). Against BenchmarkFleetSubmit
+// this isolates the coordinator's routing and merge overhead; across
+// node counts it shows the fan-out parallelism.
+func BenchmarkClusterSubmit(b *testing.B) {
+	const nDevices = 16
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			h, err := ssdcheck.NewClusterHarness(ssdcheck.ClusterHarnessConfig{
+				Nodes:   nodes,
+				Devices: ssdcheck.FleetPresetDevices(nDevices, nil, 42),
+				Node: ssdcheck.FleetConfig{
+					PreconditionFactor: 1.2,
+					Diagnosis:          ssdcheck.FastDiagnosis(),
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			c := h.Coordinator()
+
+			ids := make([]string, 0, nDevices)
+			for _, spec := range ssdcheck.FleetPresetDevices(nDevices, nil, 42) {
+				ids = append(ids, spec.ID)
+			}
+			streams := make([][]ssdcheck.FleetRequest, len(ids))
+			for i, id := range ids {
+				reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, uint64(100+i), 4096)
+				streams[i] = make([]ssdcheck.FleetRequest, len(reqs))
+				for j, r := range reqs {
+					streams[i][j] = ssdcheck.FleetRequest{DeviceID: id, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+				}
+			}
+
+			perDev := b.N/nDevices + 1
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := range ids {
+				wg.Add(1)
+				go func(stream []ssdcheck.FleetRequest) {
+					defer wg.Done()
+					const chunk = 64
+					for sent := 0; sent < perDev; sent += chunk {
+						n := chunk
+						if left := perDev - sent; left < n {
+							n = left
+						}
+						off := sent % len(stream)
+						if off+n > len(stream) {
+							off = 0
+						}
+						if _, err := c.Submit(stream[off : off+n]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(streams[i])
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			total := float64(perDev * nDevices)
+			b.ReportMetric(total/elapsed, "predictions/s")
+		})
+	}
+}
+
 // BenchmarkPredict backs the paper's claim that per-request prediction
 // costs nanoseconds.
 func BenchmarkPredict(b *testing.B) {

@@ -1,6 +1,6 @@
 // Command bench runs the repository's key benchmarks and writes the
 // parsed results as JSON, so performance numbers can be checked in and
-// compared across revisions (see BENCH_PR4.json and tools/bench.sh).
+// compared across revisions (see BENCH_PR6.json and tools/bench.sh).
 //
 // Usage:
 //
@@ -30,6 +30,7 @@ var keyBenchmarks = []string{
 	"BenchmarkDeviceSubmit",
 	"BenchmarkPredict",
 	"BenchmarkFleetSubmit",
+	"BenchmarkClusterSubmit",
 	"BenchmarkDiagnosis",
 	"BenchmarkFig03_PrototypeAblation",
 }

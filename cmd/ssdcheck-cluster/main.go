@@ -1,0 +1,159 @@
+// Command ssdcheck-cluster is the fleet-of-fleets daemon: several
+// ssdcheckd-style nodes hosted in one process behind a coordinator
+// that places devices on a consistent-hash ring, drives node health
+// from heartbeat rounds, fails devices over when a node dies, and
+// merges every node's metrics into one observability surface (see
+// internal/cluster).
+//
+// Endpoints:
+//
+//	POST /v1/submit                          fan-out batched submit, node-attributed results
+//	GET  /v1/cluster/nodes                   members: health, ring arcs, device counts
+//	GET  /v1/cluster/nodes/{id}              one member: status plus its fleet metrics
+//	POST /v1/cluster/nodes/{id}/kill         stop the node's serving path (devices survive)
+//	POST /v1/cluster/nodes/{id}/restore      bring a killed node back (rejoins via heartbeats)
+//	POST /v1/cluster/nodes/{id}/drain        graceful leave: migrate devices, drop member
+//	POST /v1/cluster/nodes/{id}/join         add a fresh empty node and rebalance onto it
+//	GET  /v1/cluster/placement               device→node map plus the seq-stamped placement log
+//	GET  /v1/cluster/transitions             node health-transition log
+//	GET  /v1/cluster/metrics                 merged cluster aggregate (JSON)
+//	POST /v1/cluster/tick                    run one heartbeat round now
+//	GET  /metrics                            merged Prometheus exposition (node-labeled)
+//	GET  /v1/version                         build identity, role and uptime
+//	GET  /healthz                            liveness, quorum-aware
+//
+// The heartbeat rounds that drive failure detection run on a
+// wall-clock ticker (-tick-interval); set it to 0 for a fully manual
+// cluster driven by POST /v1/cluster/tick — the mode the tests and the
+// examples/cluster walkthrough use, where the round sequence (and so
+// the placement and transition logs) is exactly reproducible.
+//
+// Usage:
+//
+//	ssdcheck-cluster -addr :8090 -nodes 3 -devices 12 -fastdiag
+//	ssdcheck-cluster -nodes 5 -devices 40 -vnodes 256 -tick-interval 500ms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssdcheck/internal/cluster"
+	"ssdcheck/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	nodes := flag.Int("nodes", 3, "cluster member count")
+	devices := flag.Int("devices", 12, "total simulated devices, placed across the nodes")
+	presets := flag.String("presets", "A,B,C,D,E,F,G,H", "comma-separated preset cycle")
+	shards := flag.Int("shards", 0, "worker shards per node (0 = one per core)")
+	seed := flag.Uint64("seed", 42, "base seed; device seeds and ring placement derive from it")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
+	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
+	tickInterval := flag.Duration("tick-interval", time.Second, "wall-clock heartbeat round period (0 = manual via POST /v1/cluster/tick)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ssdcheck-cluster: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *nodes, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdcheck-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, nodes, devices int, presets string, shards int, seed uint64, vnodes int, fastDiag bool, tickInterval time.Duration) error {
+	if nodes <= 0 {
+		return fmt.Errorf("need at least one node (-nodes)")
+	}
+	if devices <= 0 {
+		return fmt.Errorf("need at least one device (-devices)")
+	}
+	if tickInterval < 0 {
+		return fmt.Errorf("-tick-interval %v is negative", tickInterval)
+	}
+	var cycle []string
+	for _, p := range strings.Split(presets, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cycle = append(cycle, p)
+		}
+	}
+
+	nodeCfg := fleet.Config{Shards: shards}
+	if fastDiag {
+		nodeCfg.Diagnosis = fleet.FastDiagnosis()
+	}
+
+	log.Printf("bootstrapping %d devices across %d nodes...", devices, nodes)
+	start := time.Now()
+	h, err := cluster.NewHarness(cluster.HarnessConfig{
+		Nodes:   nodes,
+		Devices: fleet.PresetDevices(devices, cycle, seed),
+		Node:    nodeCfg,
+		Policy:  cluster.Policy{Seed: seed, VirtualNodes: vnodes},
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for _, st := range h.Coordinator().Nodes() {
+		log.Printf("  %s: %d devices", st.ID, st.Devices)
+	}
+	log.Printf("cluster up in %v", time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{Addr: addr, Handler: newServer(h, nodeCfg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if tickInterval > 0 {
+		ticker := time.NewTicker(tickInterval)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if err := h.Coordinator().Tick(); err != nil {
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	h.Close()
+	log.Printf("cluster drained, bye")
+	return nil
+}

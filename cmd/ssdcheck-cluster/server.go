@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/buildinfo"
+	"ssdcheck/internal/cluster"
+	"ssdcheck/internal/fleet"
+)
+
+// submitRequest is the wire form of one request, identical to the
+// single-node daemon's.
+type submitRequest struct {
+	Device  string `json:"device"`
+	Op      string `json:"op"`
+	LBA     int64  `json:"lba"`
+	Sectors int    `json:"sectors"`
+}
+
+type submitBody struct {
+	Requests []submitRequest `json:"requests"`
+}
+
+type submitResponse struct {
+	Results []cluster.Result `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type versionResponse struct {
+	buildinfo.Info
+	Node          string  `json:"node"`
+	Role          string  `json:"role"`
+	Nodes         int     `json:"nodes"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func parseOp(s string) (blockdev.Op, error) {
+	switch strings.ToLower(s) {
+	case "read", "r":
+		return blockdev.Read, nil
+	case "write", "w":
+		return blockdev.Write, nil
+	case "trim", "t":
+		return blockdev.Trim, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q (want read, write or trim)", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// newServer wires the cluster harness into the coordinator's HTTP
+// surface. nodeCfg is the fleet template handed to nodes created by
+// the join endpoint, so late joiners match the founding members.
+func newServer(h *cluster.Harness, nodeCfg fleet.Config) http.Handler {
+	c := h.Coordinator()
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		nodes := c.Nodes()
+		inService := 0
+		for _, st := range nodes {
+			if st.InRing {
+				inService++
+			}
+		}
+		// Quorum-aware liveness: with no node in service the cluster
+		// cannot place or serve anything (503); a partially evacuated
+		// ring still serves everything that remains placed (200, but
+		// flagged degraded for operators).
+		status, code := "ok", http.StatusOK
+		switch {
+		case inService == 0:
+			status, code = "unhealthy", http.StatusServiceUnavailable
+		case inService < len(nodes):
+			status = "degraded"
+		}
+		writeJSON(w, code, map[string]any{
+			"status":     status,
+			"nodes":      len(nodes),
+			"in_service": inService,
+			"round":      c.Round(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, versionResponse{
+			Info:          buildinfo.Get(),
+			Node:          "coordinator",
+			Role:          "cluster-coordinator",
+			Nodes:         len(c.Nodes()),
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var body submitBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(body.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+			return
+		}
+		batch := make([]fleet.Request, 0, len(body.Requests))
+		for i, sr := range body.Requests {
+			op, err := parseOp(sr.Op)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			batch = append(batch, fleet.Request{DeviceID: sr.Device, Op: op, LBA: sr.LBA, Sectors: sr.Sectors})
+		}
+		results, err := c.Submit(batch)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, cluster.ErrCoordinatorClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, submitResponse{Results: results})
+	})
+
+	mux.HandleFunc("GET /v1/cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Nodes()})
+	})
+
+	mux.HandleFunc("GET /v1/cluster/nodes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		n := c.Node(id)
+		if n == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("node %q: %w", id, cluster.ErrUnknownNode))
+			return
+		}
+		var status *cluster.NodeStatus
+		for _, st := range c.Nodes() {
+			if st.ID == id {
+				st := st
+				status = &st
+				break
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": status,
+			"fleet":  n.Manager().Metrics(),
+		})
+	})
+
+	nodeAction := func(name string, fn func(id string) error) func(http.ResponseWriter, *http.Request) {
+		return func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if err := fn(id); err != nil {
+				code := http.StatusInternalServerError
+				switch {
+				case errors.Is(err, cluster.ErrUnknownNode):
+					code = http.StatusNotFound
+				case errors.Is(err, cluster.ErrCoordinatorClosed):
+					code = http.StatusServiceUnavailable
+				}
+				writeError(w, code, fmt.Errorf("%s %q: %w", name, id, err))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Nodes()})
+		}
+	}
+
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/kill", nodeAction("kill", c.Kill))
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/restore", nodeAction("restore", c.Restore))
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/drain", nodeAction("drain", c.Leave))
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/join", nodeAction("join", func(id string) error {
+		n, err := cluster.NewNode(id, nodeCfg)
+		if err != nil {
+			return err
+		}
+		if err := c.Join(n); err != nil {
+			n.Close()
+			return err
+		}
+		return nil
+	}))
+
+	mux.HandleFunc("GET /v1/cluster/placement", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"placement": c.Placement(),
+			"log":       c.PlacementLog(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/cluster/transitions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"transitions": c.Transitions()})
+	})
+
+	mux.HandleFunc("GET /v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Metrics())
+	})
+
+	mux.HandleFunc("POST /v1/cluster/tick", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Tick(); err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, cluster.ErrCoordinatorClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"round": c.Round(),
+			"nodes": c.Nodes(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Metrics() refreshes the cluster-level gauges; WritePrometheus
+		// refreshes each node's fleet gauges before merging.
+		_ = c.Metrics()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WritePrometheus(w)
+	})
+
+	return mux
+}

@@ -14,6 +14,7 @@
 //	GET  /v1/metrics                       fleet-wide aggregate (JSON)
 //	GET  /v1/traces                        sampled request traces (?device=ID, ?format=chrome)
 //	GET  /metrics                          Prometheus text exposition
+//	GET  /v1/version                       build identity, node ID and uptime
 //	GET  /debug/pprof/                     runtime profiling
 //	GET  /healthz                          liveness, degraded-aware
 //
@@ -81,6 +82,7 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 256, "retained traces per device")
 	modelFloor := flag.Float64("model-floor", 0, "HL-accuracy floor for the drift watchdog, 0..1 (0 = default)")
 	rediagBudget := flag.Int("rediag-budget", 0, "GC-interval probe budget per re-diagnosis (0 = default)")
+	nodeID := flag.String("node-id", "", "node identity reported on /v1/version (cluster members set this)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ssdcheckd: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -88,13 +90,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval, *traceSample, *traceBuffer, *modelFloor, *rediagBudget); err != nil {
+	if err := run(*addr, *devices, *presets, *shards, *seed, *queue, *featuresDir, *fastDiag, *probeInterval, *traceSample, *traceBuffer, *modelFloor, *rediagBudget, *nodeID); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheckd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int, modelFloor float64, rediagBudget int) error {
+func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int, modelFloor float64, rediagBudget int, nodeID string) error {
 	if devices <= 0 {
 		return fmt.Errorf("need at least one device (-devices)")
 	}
@@ -149,7 +151,7 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 	log.Printf("fleet up in %v: devices=%s", time.Since(start).Round(time.Millisecond),
 		strings.Join(m.DeviceIDs(), ","))
 
-	srv := &http.Server{Addr: addr, Handler: newServer(m, tracer)}
+	srv := &http.Server{Addr: addr, Handler: newServer(m, tracer, nodeID)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -70,7 +70,7 @@ var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[
 // valid Prometheus 0.0.4 text exposition covering the fleet series.
 func TestMetricsPrometheusText(t *testing.T) {
 	m, _, tr := newObsFleet(t)
-	srv := httptest.NewServer(newServer(m, tr))
+	srv := httptest.NewServer(newServer(m, tr, ""))
 	defer srv.Close()
 	submitSome(t, srv, m.DeviceIDs(), 30)
 
@@ -150,7 +150,7 @@ func TestMetricsPrometheusText(t *testing.T) {
 // both JSON and Chrome trace_event form.
 func TestTracesEndpoint(t *testing.T) {
 	m, _, tr := newObsFleet(t)
-	srv := httptest.NewServer(newServer(m, tr))
+	srv := httptest.NewServer(newServer(m, tr, ""))
 	defer srv.Close()
 	ids := m.DeviceIDs()
 	submitSome(t, srv, ids, 10)
@@ -232,7 +232,7 @@ func TestTracesEndpoint(t *testing.T) {
 // set when tracing is off (nil tracer).
 func TestTracesWithoutTracer(t *testing.T) {
 	m := newTestFleet(t)
-	srv := httptest.NewServer(newServer(m, nil))
+	srv := httptest.NewServer(newServer(m, nil, ""))
 	defer srv.Close()
 
 	var out struct {
@@ -253,7 +253,7 @@ func TestTracesWithoutTracer(t *testing.T) {
 // This is the regression net for the shared writeJSON helper.
 func TestContentTypeAudit(t *testing.T) {
 	m, _, tr := newObsFleet(t)
-	srv := httptest.NewServer(newServer(m, tr))
+	srv := httptest.NewServer(newServer(m, tr, ""))
 	defer srv.Close()
 	id := m.DeviceIDs()[0]
 

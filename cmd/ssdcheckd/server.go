@@ -7,11 +7,21 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 
 	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/buildinfo"
 	"ssdcheck/internal/fleet"
 	"ssdcheck/internal/obs"
 )
+
+// versionResponse is the /v1/version wire form, shared in shape with
+// the cluster daemon so tooling can probe either interchangeably.
+type versionResponse struct {
+	buildinfo.Info
+	Node          string  `json:"node"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
 
 // submitRequest is the wire form of one fleet request: the op travels
 // as its conventional name ("read", "write", "trim").
@@ -64,9 +74,23 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // newServer wires the fleet manager and the observability subsystem
 // into the daemon's HTTP surface. tr may be nil when tracing is off;
-// /v1/traces then serves an empty set.
-func newServer(m *fleet.Manager, tr *obs.Tracer) http.Handler {
+// /v1/traces then serves an empty set. nodeID is the identity reported
+// on /v1/version (a cluster coordinator uses it to tell members
+// apart); empty defaults to "ssdcheckd".
+func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
+	if nodeID == "" {
+		nodeID = "ssdcheckd"
+	}
+	start := time.Now()
 	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, versionResponse{
+			Info:          buildinfo.Get(),
+			Node:          nodeID,
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		devs := m.Devices()

@@ -52,7 +52,7 @@ func getJSON(t *testing.T, srv *httptest.Server, path string, out any) *http.Res
 
 func TestServerEndToEnd(t *testing.T) {
 	m := newTestFleet(t)
-	srv := httptest.NewServer(newServer(m, nil))
+	srv := httptest.NewServer(newServer(m, nil, ""))
 	defer srv.Close()
 
 	// Liveness.
@@ -144,7 +144,7 @@ func TestServerErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := httptest.NewServer(newServer(m, nil))
+	srv := httptest.NewServer(newServer(m, nil, ""))
 	defer srv.Close()
 
 	post := func(body string) (int, submitResponse) {
@@ -226,7 +226,7 @@ func TestServerDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := httptest.NewServer(newServer(m, nil))
+	srv := httptest.NewServer(newServer(m, nil, ""))
 	defer srv.Close()
 
 	var body submitBody
@@ -349,7 +349,7 @@ func TestServerModelEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := httptest.NewServer(newServer(m, nil))
+	srv := httptest.NewServer(newServer(m, nil, ""))
 	defer srv.Close()
 
 	// Quarantine the faulty device.
@@ -406,5 +406,46 @@ func TestServerModelEndpoints(t *testing.T) {
 	}
 	if health["fallback_models"].(float64) != 0 {
 		t.Errorf("/healthz fallback_models = %v, want 0", health["fallback_models"])
+	}
+}
+
+// TestServerVersion: /v1/version reports the node identity, build
+// info, and a sane uptime — the fields a cluster coordinator uses to
+// fingerprint members.
+func TestServerVersion(t *testing.T) {
+	m, err := fleet.New(fleet.Config{
+		Devices:            []fleet.DeviceSpec{{ID: "solo", Preset: "A", Seed: 7}},
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	srv := httptest.NewServer(newServer(m, nil, "node-7"))
+	defer srv.Close()
+
+	var v versionResponse
+	if resp := getJSON(t, srv, "/v1/version", &v); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/version: %d", resp.StatusCode)
+	}
+	if v.Node != "node-7" {
+		t.Fatalf("node = %q, want %q", v.Node, "node-7")
+	}
+	if v.Version == "" || v.GoVersion == "" {
+		t.Fatalf("missing build identity: %+v", v)
+	}
+	if v.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %v", v.UptimeSeconds)
+	}
+
+	// Default identity when none is configured.
+	srv2 := httptest.NewServer(newServer(m, nil, ""))
+	defer srv2.Close()
+	var v2 versionResponse
+	getJSON(t, srv2, "/v1/version", &v2)
+	if v2.Node != "ssdcheckd" {
+		t.Fatalf("default node = %q, want ssdcheckd", v2.Node)
 	}
 }

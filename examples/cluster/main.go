@@ -1,0 +1,114 @@
+// Cluster: fleet-of-fleets with consistent-hash placement, failover
+// and merged observability — three nodes behind one coordinator serve
+// six devices; a node-level fault plan silences one node's heartbeats
+// mid-workload, the health machine walks it healthy → degraded →
+// quarantined, its devices fail over to the survivors with their
+// diagnosed models and learned state intact, and when the heartbeats
+// return the node walks back in and the ring rebalances onto it.
+// Everything is seeded and lock-ordered, so the placement and health
+// logs print byte-identically on every run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssdcheck"
+)
+
+func main() {
+	const perDevice = 3000
+
+	// 1. Three nodes, six mixed-preset devices. The harness diagnoses
+	//    every device once in a bootstrap fleet, then hands each to the
+	//    node the consistent-hash ring names. The fault plan arms a
+	//    heartbeat-loss window against node-2: six straight silent
+	//    rounds, starting at round 2.
+	h, err := ssdcheck.NewClusterHarness(ssdcheck.ClusterHarnessConfig{
+		Nodes:   3,
+		Devices: ssdcheck.FleetPresetDevices(6, nil, 42),
+		Node: ssdcheck.FleetConfig{
+			Shards:    2,
+			Diagnosis: ssdcheck.FastDiagnosis(),
+		},
+		Faults: &ssdcheck.NodeFaultPlan{
+			Seed: 7,
+			Schedules: []ssdcheck.NodeFaultSchedule{
+				{Kind: ssdcheck.NodeFaultHeartbeatLoss, Node: "node-2", At: 2, Rounds: 6},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	c := h.Coordinator()
+
+	fmt.Println("initial placement (ring-assigned):")
+	for _, e := range c.PlacementLog() {
+		fmt.Printf("  seq=%d %-10s -> %s (%s)\n", e.Seq, e.Device, e.To, e.Cause)
+	}
+
+	// 2. Drive traffic through the coordinator: one batch per step, one
+	//    request per device, fanned out to whichever node owns each
+	//    device and merged back with node attribution.
+	ids := make([]string, 0, 6)
+	for _, e := range c.PlacementLog() {
+		if e.Cause == "bootstrap" {
+			ids = append(ids, e.Device)
+		}
+	}
+	step := func() {
+		batch := make([]ssdcheck.FleetRequest, len(ids))
+		for i, id := range ids {
+			batch[i] = ssdcheck.FleetRequest{
+				DeviceID: id, Op: ssdcheck.Write,
+				LBA: int64(i+1) * 4096, Sectors: 8,
+			}
+		}
+		if _, err := c.Submit(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Interleave traffic with heartbeat rounds. Rounds 2–7 fall in
+	//    node-2's silent window: two misses degrade it, four quarantine
+	//    it and move its devices to the survivors; once heartbeats
+	//    return, a beat makes it recovering and a second makes it
+	//    healthy again, rebalancing the ring back onto it.
+	for round := 0; round < 12; round++ {
+		for i := 0; i < perDevice/12; i++ {
+			step()
+		}
+		if err := c.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nhealth transitions:")
+	for _, tr := range c.Transitions() {
+		fmt.Printf("  seq=%d round=%2d %-7s %s -> %s (%s)\n",
+			tr.Seq, tr.Round, tr.Node, tr.From, tr.To, tr.Cause)
+	}
+	fmt.Println("\nplacement moves (failover out, rejoin back):")
+	for _, e := range c.PlacementLog() {
+		if e.Cause == "bootstrap" {
+			continue
+		}
+		fmt.Printf("  seq=%d round=%2d %-10s %s -> %s (%s)\n",
+			e.Seq, e.Round, e.Device, e.From, e.To, e.Cause)
+	}
+
+	// 4. The merged view: one aggregate over every node's fleet, the
+	//    same numbers cmd/ssdcheck-cluster serves on /v1/cluster/metrics
+	//    and (Prometheus-rendered, node-labeled) on /metrics.
+	m := c.Metrics()
+	fmt.Printf("\nmerged: %d nodes (%d in service), %d devices, %d requests\n",
+		m.Nodes, m.InService, m.Devices, m.Counters.Requests)
+	fmt.Printf("accuracy: NL %.1f%%  HL %.1f%%  (p99 latency %v)\n",
+		100*m.NLAccuracy, 100*m.HLAccuracy, m.Latency.P99)
+	for _, n := range m.PerNode {
+		fmt.Printf("  %-7s %-11s in_ring=%-5v devices=%d requests=%d\n",
+			n.Node, n.Health, n.InRing, n.Devices, n.Fleet.Counters.Requests)
+	}
+}

@@ -1,0 +1,41 @@
+// Package buildinfo exposes the build identity the daemons report on
+// their /v1/version endpoints: the release string (overridable at link
+// time), the Go toolchain, and the VCS revision stamped by the go tool.
+package buildinfo
+
+import "runtime/debug"
+
+// Version is the release string. It defaults to a development marker
+// and is meant to be overridden at build time:
+//
+//	go build -ldflags "-X ssdcheck/internal/buildinfo.Version=1.2.3"
+var Version = "dev"
+
+// Info is the resolved build identity.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// Get resolves the build identity from the linker override and the
+// binary's embedded build metadata. Missing metadata (tests, stripped
+// builds) degrades to empty fields, never an error.
+func Get() Info {
+	info := Info{Version: Version}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}

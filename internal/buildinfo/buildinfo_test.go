@@ -1,0 +1,22 @@
+package buildinfo
+
+import "testing"
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Version != Version {
+		t.Fatalf("Version = %q, want %q", info.Version, Version)
+	}
+	if info.GoVersion == "" {
+		t.Fatal("GoVersion empty under the go test harness")
+	}
+}
+
+func TestVersionOverride(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "9.9.9-test"
+	if got := Get().Version; got != "9.9.9-test" {
+		t.Fatalf("Version override not reflected: %q", got)
+	}
+}

@@ -1,0 +1,553 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+	"ssdcheck/internal/simclock"
+)
+
+// member is one node's coordinator-side state: the node handle plus
+// its position in the health state machine (fleet.Health, driven here
+// by heartbeat outcomes instead of request outcomes).
+type member struct {
+	node   *Node
+	health fleet.Health
+	misses int // consecutive missed heartbeats
+	beats  int // consecutive on-deadline heartbeats
+}
+
+// roundAdvancer lets a transport (FaultTransport) advance its seeded
+// per-round fault state in lockstep with the coordinator's heartbeat
+// rounds.
+type roundAdvancer interface{ BeginRound() }
+
+// Coordinator is the cluster control plane: it owns the placement ring
+// and device→node map, drives the heartbeat rounds and node health
+// state machines, performs failover and rebalancing, and fans batched
+// submits out to the owning nodes.
+//
+// Every mutating decision happens under one lock in explicit calls —
+// Tick, Join, Leave, Kill, Restore — and iterates devices in
+// first-placement order, so the seq-stamped placement and transition
+// logs are byte-identical across runs and GOMAXPROCS settings.
+// Heartbeats and submit sub-batches fan out in parallel goroutines,
+// but their outcomes are resolved in membership and input order.
+type Coordinator struct {
+	mu  sync.Mutex
+	pol Policy
+	tr  Transport
+
+	ring      *Ring
+	members   map[string]*member
+	order     []string          // node IDs in join order
+	placement map[string]string // device ID → node ID
+	devOrder  []string          // device IDs in first-placement order
+
+	now    simclock.Time // cluster virtual clock, advanced by Tick
+	round  int64         // heartbeat rounds so far
+	seq    int64         // shared event sequence for both logs
+	closed bool
+
+	placelog []PlacementEntry
+	translog []NodeTransition
+
+	// Cluster-level registry: coordinator gauges live here unlabeled;
+	// the merged exposition injects node labels into per-node series.
+	reg                          *obs.Registry
+	gNodes, gInService, gDevices *obs.Gauge
+	gRound                       *obs.Gauge
+	cMoves                       *obs.Counter
+	healthGauges                 map[string]*obs.Gauge
+}
+
+// NewCoordinator builds an empty cluster over the given transport. A
+// nil registry gets a private one; it holds only cluster-level series
+// and is merged with per-node registries on exposition.
+func NewCoordinator(pol Policy, tr Transport, reg *obs.Registry) (*Coordinator, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		tr = DirectTransport{}
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p := pol.withDefaults()
+	return &Coordinator{
+		pol:          p,
+		tr:           tr,
+		ring:         NewRing(p.Seed, p.VirtualNodes),
+		members:      make(map[string]*member),
+		placement:    make(map[string]string),
+		reg:          reg,
+		gNodes:       reg.Gauge("ssdcheck_cluster_nodes", "Known cluster members."),
+		gInService:   reg.Gauge("ssdcheck_cluster_nodes_in_service", "Members currently owning placement arcs."),
+		gDevices:     reg.Gauge("ssdcheck_cluster_devices", "Devices placed across the cluster."),
+		gRound:       reg.Gauge("ssdcheck_cluster_round", "Heartbeat rounds completed."),
+		cMoves:       reg.Counter("ssdcheck_cluster_placement_moves_total", "Device migrations (bootstrap placements excluded)."),
+		healthGauges: make(map[string]*obs.Gauge),
+	}, nil
+}
+
+// Policy returns the effective (defaulted) policy.
+func (c *Coordinator) Policy() Policy { return c.pol }
+
+// Registry returns the cluster-level registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Now returns the cluster's virtual clock.
+func (c *Coordinator) Now() simclock.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Round returns the number of completed heartbeat rounds.
+func (c *Coordinator) Round() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// healthGaugeLocked returns (registering on first use) the node's
+// health gauge in the cluster registry.
+func (c *Coordinator) healthGaugeLocked(id string) *obs.Gauge {
+	g, ok := c.healthGauges[id]
+	if !ok {
+		g = c.reg.Gauge("ssdcheck_cluster_node_health",
+			"Node health state (0=healthy 1=degraded 2=quarantined 3=recovering).",
+			obs.Label{Name: "member", Value: id})
+		c.healthGauges[id] = g
+	}
+	return g
+}
+
+// transitionLocked moves a node to a new health state and logs the
+// edge under the shared event sequence.
+func (c *Coordinator) transitionLocked(mb *member, to fleet.Health, cause string) {
+	if mb.health == to {
+		return
+	}
+	c.seq++
+	c.translog = append(c.translog, NodeTransition{
+		Seq: c.seq, Round: c.round, Node: mb.node.ID(),
+		From: mb.health, To: to, Cause: cause,
+	})
+	mb.health = to
+	c.healthGaugeLocked(mb.node.ID()).Set(int64(to))
+}
+
+// placeLocked records one device move in the placement log and the
+// device→node map.
+func (c *Coordinator) placeLocked(dev, from, to, cause string) {
+	c.seq++
+	c.placelog = append(c.placelog, PlacementEntry{
+		Seq: c.seq, Round: c.round, Device: dev, From: from, To: to, Cause: cause,
+	})
+	if _, known := c.placement[dev]; !known {
+		c.devOrder = append(c.devOrder, dev)
+	}
+	c.placement[dev] = to
+	if from != "" {
+		c.cMoves.Inc()
+	}
+}
+
+// migrateLocked moves one device's live state between nodes through
+// the fleet's portable-device path. The source may be a stopped node:
+// detaching from its (still running) manager is the shared-enclosure
+// salvage that failover is built on.
+func (c *Coordinator) migrateLocked(dev, from, to, cause string) error {
+	pd, err := c.members[from].node.Manager().Detach(dev)
+	if err != nil {
+		return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
+	}
+	if err := c.members[to].node.Manager().Attach(pd); err != nil {
+		return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+	}
+	c.placeLocked(dev, from, to, cause)
+	return nil
+}
+
+// rebalanceLocked re-derives every device's owner from the ring and
+// migrates the ones whose owner changed — the minimal-movement pass
+// run after a join or rejoin.
+func (c *Coordinator) rebalanceLocked(cause string) error {
+	for _, dev := range c.devOrder {
+		cur := c.placement[dev]
+		target, ok := c.ring.Owner(dev)
+		if !ok || target == cur {
+			continue
+		}
+		if err := c.migrateLocked(dev, cur, target, cause); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evacuateLocked pulls a quarantined node's devices off it, to the
+// owners the ring names once the node's arcs are gone. Devices are
+// stranded in place (and logged as nothing) only when no node remains
+// in service.
+func (c *Coordinator) evacuateLocked(id string) error {
+	c.ring.Remove(id)
+	for _, dev := range c.devOrder {
+		if c.placement[dev] != id {
+			continue
+		}
+		target, ok := c.ring.Owner(dev)
+		if !ok {
+			continue
+		}
+		if err := c.migrateLocked(dev, id, target, "failover"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Join adds a node to the cluster: it takes its arcs on the ring and
+// the rebalance pass migrates the devices those arcs now own.
+func (c *Coordinator) Join(n *Node) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCoordinatorClosed
+	}
+	if _, dup := c.members[n.ID()]; dup {
+		return fmt.Errorf("cluster: duplicate node ID %q", n.ID())
+	}
+	c.members[n.ID()] = &member{node: n, health: fleet.Healthy}
+	c.order = append(c.order, n.ID())
+	c.ring.Add(n.ID())
+	c.healthGaugeLocked(n.ID()).Set(int64(fleet.Healthy))
+	return c.rebalanceLocked("join")
+}
+
+// Leave removes a node gracefully: its devices migrate to the owners a
+// ring without it names, then it is dropped from membership. The node
+// itself keeps running; closing it is the caller's business.
+func (c *Coordinator) Leave(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCoordinatorClosed
+	}
+	if _, ok := c.members[id]; !ok {
+		return fmt.Errorf("node %q: %w", id, ErrUnknownNode)
+	}
+	if err := c.evacuateLocked(id); err != nil {
+		return err
+	}
+	delete(c.members, id)
+	for i, o := range c.order {
+		if o == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.reg.DropSeries(obs.Label{Name: "member", Value: id})
+	delete(c.healthGauges, id)
+	// Rewrite departures in the log's vocabulary: the moves above were
+	// recorded as failover by evacuateLocked; relabel this batch.
+	for i := len(c.placelog) - 1; i >= 0; i-- {
+		if c.placelog[i].From == id && c.placelog[i].Cause == "failover" {
+			c.placelog[i].Cause = "leave"
+		} else {
+			break
+		}
+	}
+	return nil
+}
+
+// Kill abruptly stops a node — the process dies, the devices' state
+// plane survives. No bookkeeping happens here: the health machine
+// notices through missed heartbeats on subsequent Ticks, exactly as it
+// would for a remote node.
+func (c *Coordinator) Kill(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mb, ok := c.members[id]
+	if !ok {
+		return fmt.Errorf("node %q: %w", id, ErrUnknownNode)
+	}
+	mb.node.Stop()
+	return nil
+}
+
+// Restore brings a killed node's process back. The node answers
+// heartbeats again and walks quarantined → recovering → healthy,
+// rejoining the ring at the end.
+func (c *Coordinator) Restore(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mb, ok := c.members[id]
+	if !ok {
+		return fmt.Errorf("node %q: %w", id, ErrUnknownNode)
+	}
+	mb.node.Resume()
+	return nil
+}
+
+// AdoptDevices performs the initial placement: each device (in the
+// given order, which fixes the log order) is detached from the source
+// manager — typically a bootstrap fleet that just diagnosed everything
+// — and attached to the node the ring names.
+func (c *Coordinator) AdoptDevices(src *fleet.Manager, ids []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCoordinatorClosed
+	}
+	for _, dev := range ids {
+		target, ok := c.ring.Owner(dev)
+		if !ok {
+			return ErrNoNodes
+		}
+		pd, err := src.Detach(dev)
+		if err != nil {
+			return fmt.Errorf("cluster: adopting %q: %w", dev, err)
+		}
+		if err := c.members[target].node.Manager().Attach(pd); err != nil {
+			return fmt.Errorf("cluster: adopting %q: %w", dev, err)
+		}
+		c.placeLocked(dev, "", target, "bootstrap")
+	}
+	return nil
+}
+
+// Tick runs one heartbeat round: the cluster clock advances by the
+// heartbeat interval, the fault plan (if any) advances one round,
+// every member is probed in parallel, and the outcomes drive the
+// health state machines in membership order — including failover
+// (quarantine + evacuation) and rejoin (ring re-entry + rebalance).
+func (c *Coordinator) Tick() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCoordinatorClosed
+	}
+	c.round++
+	c.now = c.now.Add(c.pol.HeartbeatInterval)
+	c.gRound.Set(c.round)
+	if ra, ok := c.tr.(roundAdvancer); ok {
+		ra.BeginRound()
+	}
+
+	type hb struct {
+		rtt time.Duration
+		err error
+	}
+	ids := append([]string(nil), c.order...)
+	results := make([]hb, len(ids))
+	var wg sync.WaitGroup
+	wg.Add(len(ids))
+	for i, id := range ids {
+		go func(i int, n *Node) {
+			defer wg.Done()
+			rtt, err := c.tr.Heartbeat(n)
+			results[i] = hb{rtt, err}
+		}(i, c.members[id].node)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		mb := c.members[id]
+		if results[i].err == nil && results[i].rtt <= c.pol.HeartbeatDeadline {
+			if err := c.noteBeatLocked(mb); err != nil {
+				return err
+			}
+		} else if err := c.noteMissLocked(mb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteMissLocked feeds one missed heartbeat into a node's state
+// machine.
+func (c *Coordinator) noteMissLocked(mb *member) error {
+	mb.misses++
+	mb.beats = 0
+	switch mb.health {
+	case fleet.Healthy:
+		if mb.misses >= c.pol.DegradeAfterMisses {
+			c.transitionLocked(mb, fleet.Degraded, "missed heartbeats")
+		}
+	case fleet.Degraded:
+		if mb.misses >= c.pol.QuarantineAfterMisses {
+			c.transitionLocked(mb, fleet.Quarantined, "persistent heartbeat loss")
+			return c.evacuateLocked(mb.node.ID())
+		}
+	case fleet.Recovering:
+		c.transitionLocked(mb, fleet.Quarantined, "heartbeat lost during rejoin")
+	}
+	return nil
+}
+
+// noteBeatLocked feeds one on-deadline heartbeat into a node's state
+// machine.
+func (c *Coordinator) noteBeatLocked(mb *member) error {
+	mb.beats++
+	mb.misses = 0
+	switch mb.health {
+	case fleet.Degraded:
+		c.transitionLocked(mb, fleet.Healthy, "heartbeat recovered")
+	case fleet.Quarantined:
+		c.transitionLocked(mb, fleet.Recovering, "heartbeat restored")
+		mb.beats = 1
+	case fleet.Recovering:
+		if mb.beats >= c.pol.RejoinAfterBeats {
+			c.transitionLocked(mb, fleet.Healthy, "rejoin")
+			c.ring.Add(mb.node.ID())
+			return c.rebalanceLocked("rejoin")
+		}
+	}
+	return nil
+}
+
+// Result is one request's outcome with node attribution: the fleet
+// result as the owning node produced it, plus which node served it.
+type Result struct {
+	fleet.Result
+	Node string `json:"node,omitempty"`
+}
+
+// failedResult synthesizes a cluster-level failure for one request.
+func failedResult(dev, node string, err error) Result {
+	return Result{
+		Result: fleet.Result{DeviceID: dev, Err: err, Error: err.Error()},
+		Node:   node,
+	}
+}
+
+// Submit fans a batch out to the nodes owning each request's device
+// and merges the results back in input order. Requests to unknown
+// devices fail in place; a transport failure (partition, dead node)
+// fails that node's sub-batch without poisoning the rest — the same
+// per-entry failure contract fleet.SubmitBatch has.
+func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([]Result, len(reqs))
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCoordinatorClosed
+	}
+	groups := make(map[string][]int) // node ID → indices, input order
+	for i, r := range reqs {
+		node, ok := c.placement[r.DeviceID]
+		if !ok {
+			out[i] = failedResult(r.DeviceID, "",
+				fmt.Errorf("device %q: %w", r.DeviceID, fleet.ErrUnknownDevice))
+			continue
+		}
+		groups[node] = append(groups[node], i)
+	}
+	nodes := make(map[string]*Node, len(groups))
+	for id := range groups {
+		nodes[id] = c.members[id].node
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(len(groups))
+	for id, idxs := range groups {
+		go func(id string, idxs []int) {
+			defer wg.Done()
+			sub := make([]fleet.Request, len(idxs))
+			for k, i := range idxs {
+				sub[k] = reqs[i]
+			}
+			res, err := c.tr.Submit(nodes[id], sub)
+			if err != nil {
+				for _, i := range idxs {
+					out[i] = failedResult(reqs[i].DeviceID, id, err)
+				}
+				return
+			}
+			for k, i := range idxs {
+				out[i] = Result{Result: res[k], Node: id}
+			}
+		}(id, idxs)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Nodes returns every member's status in join order.
+func (c *Coordinator) Nodes() []NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	devCount := make(map[string]int, len(c.members))
+	for _, n := range c.placement {
+		devCount[n]++
+	}
+	out := make([]NodeStatus, 0, len(c.order))
+	for _, id := range c.order {
+		mb := c.members[id]
+		out = append(out, NodeStatus{
+			ID:      id,
+			Health:  mb.health,
+			InRing:  c.ring.Has(id),
+			Devices: devCount[id],
+			Misses:  mb.misses,
+			Beats:   mb.beats,
+		})
+	}
+	return out
+}
+
+// Node returns a member's handle, or nil when unknown.
+func (c *Coordinator) Node(id string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mb, ok := c.members[id]
+	if !ok {
+		return nil
+	}
+	return mb.node
+}
+
+// Placement returns a copy of the device→node map.
+func (c *Coordinator) Placement() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.placement))
+	for d, n := range c.placement {
+		out[d] = n
+	}
+	return out
+}
+
+// PlacementLog returns the full placement log, oldest first.
+func (c *Coordinator) PlacementLog() []PlacementEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PlacementEntry(nil), c.placelog...)
+}
+
+// Transitions returns the full node health-transition log, oldest
+// first.
+func (c *Coordinator) Transitions() []NodeTransition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]NodeTransition(nil), c.translog...)
+}
+
+// Close stops accepting mutating calls. It does not close the nodes —
+// whoever built them (the harness, the daemon) owns their lifecycle.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ssdcheck/internal/faults"
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+)
+
+// HarnessConfig parameterizes an in-process multi-node cluster.
+type HarnessConfig struct {
+	// Nodes is the member count; nodes are named "node-0", "node-1", …
+	// in join order. 0 defaults to 3.
+	Nodes int
+
+	// Devices is the cluster-wide device set. The harness diagnoses all
+	// of them in one bootstrap fleet, then hands each to the node the
+	// ring names — so device behavior is identical to a single-fleet
+	// run with the same specs and seeds.
+	Devices []fleet.DeviceSpec
+
+	// Node is the per-node fleet configuration template (policies,
+	// shards, queue depth). Devices and Registry are overridden: nodes
+	// start empty with private registries.
+	Node fleet.Config
+
+	// Policy tunes the coordinator; the zero value takes the standard
+	// defaults.
+	Policy Policy
+
+	// Faults, when non-nil, interposes a seeded node-fault plan
+	// (heartbeat loss, partitions, slow nodes) on the in-process
+	// transport.
+	Faults *faults.NodePlan
+}
+
+// Harness is a deterministic in-process cluster: goroutine-hosted
+// nodes, an injectable transport, and a coordinator driven entirely by
+// explicit Tick calls on the simulated clock. Two harness runs with
+// the same config produce byte-identical placement and transition
+// logs, at any GOMAXPROCS.
+type Harness struct {
+	coord *Coordinator
+	nodes []*Node
+	nf    *faults.NodeFaults
+}
+
+// NewHarness stands the cluster up: build the nodes, join them (fixing
+// ring arcs and join order), diagnose every device in a bootstrap
+// fleet, and adopt the devices onto their ring owners in spec order.
+// The bootstrap fleet is closed before returning; its registry is
+// discarded (the per-node registries repopulate on attach).
+func NewHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Nodes < 0 {
+		return nil, fmt.Errorf("cluster: %d nodes", cfg.Nodes)
+	}
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("cluster: harness with no devices")
+	}
+
+	var tr Transport = DirectTransport{}
+	var nf *faults.NodeFaults
+	if cfg.Faults != nil {
+		ft, err := NewFaultTransport(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		tr, nf = ft, ft.Faults
+	}
+
+	coord, err := NewCoordinator(cfg.Policy, tr, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Harness{coord: coord, nf: nf}
+	nodeCfg := cfg.Node
+	nodeCfg.Devices = nil
+	nodeCfg.Registry = nil
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeCfg.Registry = obs.NewRegistry()
+		n, err := NewNode(fmt.Sprintf("node-%d", i), nodeCfg)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.nodes = append(h.nodes, n)
+		if err := coord.Join(n); err != nil {
+			n.Close()
+			h.Close()
+			return nil, err
+		}
+	}
+
+	bootCfg := cfg.Node
+	bootCfg.Devices = cfg.Devices
+	bootCfg.Registry = obs.NewRegistry()
+	bootCfg.AllowEmpty = false
+	boot, err := fleet.New(bootCfg)
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("cluster: bootstrap fleet: %w", err)
+	}
+	ids := make([]string, len(cfg.Devices))
+	for i, d := range cfg.Devices {
+		ids[i] = d.ID
+	}
+	if err := coord.AdoptDevices(boot, ids); err != nil {
+		boot.Close()
+		h.Close()
+		return nil, err
+	}
+	boot.Close()
+	return h, nil
+}
+
+// Coordinator returns the cluster control plane.
+func (h *Harness) Coordinator() *Coordinator { return h.coord }
+
+// Node returns a member by ID, or nil when unknown.
+func (h *Harness) Node(id string) *Node {
+	for _, n := range h.nodes {
+		if n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Nodes returns the members in join order.
+func (h *Harness) Nodes() []*Node { return append([]*Node(nil), h.nodes...) }
+
+// Faults returns the transport's fault evaluator, or nil when the
+// harness runs fault-free.
+func (h *Harness) Faults() *faults.NodeFaults { return h.nf }
+
+// Close shuts the coordinator and every node down.
+func (h *Harness) Close() {
+	h.coord.Close()
+	for _, n := range h.nodes {
+		n.Close()
+	}
+}

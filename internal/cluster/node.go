@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+)
+
+// Node is one cluster member: a fleet.Manager plus an identity and a
+// serving switch. In the in-process harness nodes are goroutine-hosted
+// manager instances; the coordinator talks to them only through a
+// Transport, so the same coordinator logic would drive remote
+// ssdcheckd processes.
+//
+// Stop models the node's process going away: Submit and Heartbeat
+// fail, but the manager — the device state — survives, playing the
+// role of the shared enclosure the devices physically live in. The
+// coordinator reaches around a stopped node's front door (Detach on
+// its manager) to salvage devices during failover.
+type Node struct {
+	id  string
+	reg *obs.Registry
+
+	mu      sync.RWMutex
+	m       *fleet.Manager
+	stopped bool
+}
+
+// NewNode builds a member from a fleet config. Devices may be empty
+// (AllowEmpty is forced on): harness nodes start bare and receive
+// their devices from the coordinator's bootstrap placement. A nil
+// cfg.Registry gets a private one — per-node registries are what the
+// cluster's merged exposition is built from.
+func NewNode(id string, cfg fleet.Config) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: node with empty ID")
+	}
+	cfg.AllowEmpty = true
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	m, err := fleet.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %q: %w", id, err)
+	}
+	return &Node{id: id, reg: cfg.Registry, m: m}, nil
+}
+
+// ID returns the node's cluster-unique identifier.
+func (n *Node) ID() string { return n.id }
+
+// Registry returns the node's metrics registry.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Manager returns the node's fleet manager — the device state plane,
+// reachable even while the node is stopped.
+func (n *Node) Manager() *fleet.Manager {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m
+}
+
+// Stop takes the node out of service: Submit and Heartbeat fail until
+// Resume. Idempotent.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+}
+
+// Resume puts a stopped node back in service. Idempotent.
+func (n *Node) Resume() {
+	n.mu.Lock()
+	n.stopped = false
+	n.mu.Unlock()
+}
+
+// Stopped reports whether the node is out of service.
+func (n *Node) Stopped() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.stopped
+}
+
+// Submit serves a batch against the node's fleet.
+func (n *Node) Submit(reqs []fleet.Request) ([]fleet.Result, error) {
+	n.mu.RLock()
+	stopped, m := n.stopped, n.m
+	n.mu.RUnlock()
+	if stopped {
+		return nil, fmt.Errorf("node %q: %w", n.id, ErrNodeDown)
+	}
+	return m.SubmitBatch(reqs)
+}
+
+// Heartbeat answers a liveness probe with the node's device count.
+func (n *Node) Heartbeat() (int, error) {
+	n.mu.RLock()
+	stopped, m := n.stopped, n.m
+	n.mu.RUnlock()
+	if stopped {
+		return 0, fmt.Errorf("node %q: %w", n.id, ErrNodeDown)
+	}
+	return len(m.DeviceIDs()), nil
+}
+
+// Close shuts the node's manager down.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.stopped = true
+	m := n.m
+	n.mu.Unlock()
+	m.Close()
+}

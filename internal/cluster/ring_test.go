@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringDevices(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dev-%04d", i)
+	}
+	return out
+}
+
+func owners(t *testing.T, r *Ring, devs []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(devs))
+	for _, d := range devs {
+		o, ok := r.Owner(d)
+		if !ok {
+			t.Fatalf("no owner for %q", d)
+		}
+		out[d] = o
+	}
+	return out
+}
+
+// TestRingBalance: with the default virtual-node count, 1k devices
+// spread across 5 nodes land within a modest factor of the fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(42, 0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	devs := ringDevices(1000)
+	counts := make(map[string]int)
+	for _, o := range owners(t, r, devs) {
+		counts[o]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("devices landed on %d of 5 nodes: %v", len(counts), counts)
+	}
+	const fair = 200 // 1000 / 5
+	for n, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d devices, outside [%d, %d]: %v", n, c, fair/2, fair*2, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a node moves only the devices
+// the new node now owns, and not many more than the fair share K/N.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	r := NewRing(7, 0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	devs := ringDevices(1000)
+	before := owners(t, r, devs)
+
+	r.Add("node-4")
+	after := owners(t, r, devs)
+
+	moved := 0
+	for _, d := range devs {
+		if before[d] == after[d] {
+			continue
+		}
+		moved++
+		if after[d] != "node-4" {
+			t.Fatalf("device %q moved %s→%s, not to the joining node", d, before[d], after[d])
+		}
+	}
+	// Fair share is 1000/5 = 200; allow 2× slack for hash unevenness.
+	if moved == 0 || moved > 400 {
+		t.Fatalf("join moved %d devices, want (0, 400]", moved)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a node relocates exactly the
+// devices it owned; everything else stays put.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	r := NewRing(7, 0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	devs := ringDevices(1000)
+	before := owners(t, r, devs)
+
+	r.Remove("node-2")
+	after := owners(t, r, devs)
+
+	for _, d := range devs {
+		if before[d] == "node-2" {
+			if after[d] == "node-2" {
+				t.Fatalf("device %q still owned by removed node", d)
+			}
+		} else if before[d] != after[d] {
+			t.Fatalf("device %q moved %s→%s though its owner never left", d, before[d], after[d])
+		}
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of (seed, vnodes,
+// membership) — invariant under join order, repeatable across rings,
+// and sensitive to the seed.
+func TestRingDeterminism(t *testing.T) {
+	devs := ringDevices(500)
+
+	a := NewRing(9, 64)
+	b := NewRing(9, 64)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"n2", "n0", "n1"} { // different join order
+		b.Add(n)
+	}
+	oa, ob := owners(t, a, devs), owners(t, b, devs)
+	for _, d := range devs {
+		if oa[d] != ob[d] {
+			t.Fatalf("device %q: owner %s vs %s across join orders", d, oa[d], ob[d])
+		}
+	}
+
+	c := NewRing(10, 64)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		c.Add(n)
+	}
+	diff := 0
+	for d, o := range owners(t, c, devs) {
+		if o != oa[d] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed no assignment")
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing; a drained ring recovers
+// when a node returns.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(1, 8)
+	if _, ok := r.Owner("dev-x"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	r.Add("n0")
+	if o, ok := r.Owner("dev-x"); !ok || o != "n0" {
+		t.Fatalf("single-node ring: owner %q ok=%v", o, ok)
+	}
+	r.Remove("n0")
+	if _, ok := r.Owner("dev-x"); ok {
+		t.Fatal("drained ring returned an owner")
+	}
+	if r.Len() != 0 || r.Has("n0") {
+		t.Fatal("drained ring still reports membership")
+	}
+}

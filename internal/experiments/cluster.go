@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"ssdcheck/internal/cluster"
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/trace"
+)
+
+// ClusterFailoverResult is an extension study on the cluster layer:
+// a multi-node fleet loses a member mid-workload, the heartbeat
+// machine quarantines it, its devices fail over to the survivors —
+// and because device state is seed- and clock-derived rather than
+// host-derived, every per-device statistic (and thus the merged
+// accuracy) must come out byte-identical to one uninterrupted
+// single-fleet run of the same streams.
+type ClusterFailoverResult struct {
+	Nodes, Devices int
+	Victim         string
+	FailoverRound  int64 // heartbeat round at which the victim was quarantined
+	DevicesMoved   int   // devices migrated off the victim
+	Equivalent     bool  // per-device stats byte-identical to the single-fleet run
+	HLAccuracy     float64
+	NLAccuracy     float64
+	Rows           []ClusterFailoverRow
+}
+
+// ClusterFailoverRow is one device's journey through the failover.
+type ClusterFailoverRow struct {
+	Device      string
+	OwnerBefore string
+	OwnerAfter  string
+	Moved       bool
+	Requests    int64
+	HLAccuracy  float64
+}
+
+// Name implements Report.
+func (ClusterFailoverResult) Name() string { return "Cluster failover (extension)" }
+
+// Render implements Report.
+func (r ClusterFailoverResult) Render(w io.Writer) {
+	fprintf(w, "Cluster node failover — %d devices on %d nodes, %s killed mid-workload\n",
+		r.Devices, r.Nodes, r.Victim)
+	fprintf(w, "quarantined at heartbeat round %d; %d devices failed over\n", r.FailoverRound, r.DevicesMoved)
+	fprintf(w, "%-10s %-8s %-8s %-6s %9s %7s\n", "device", "before", "after", "moved", "requests", "HL acc")
+	for _, row := range r.Rows {
+		moved := ""
+		if row.Moved {
+			moved = "yes"
+		}
+		fprintf(w, "%-10s %-8s %-8s %-6s %9d %6.1f%%\n",
+			row.Device, row.OwnerBefore, row.OwnerAfter, moved, row.Requests, 100*row.HLAccuracy)
+	}
+	eq := "NOT equivalent"
+	if r.Equivalent {
+		eq = "byte-identical"
+	}
+	fprintf(w, "merged vs single-fleet run: %s (HL %.1f%%, NL %.1f%%)\n",
+		eq, 100*r.HLAccuracy, 100*r.NLAccuracy)
+}
+
+// ClusterFailover kills one of three nodes halfway through a workload
+// over six mixed-preset devices and scores the cluster's merged result
+// against an uninterrupted single-fleet baseline.
+func ClusterFailover(o Opts) ClusterFailoverResult {
+	o = o.WithDefaults()
+	const nNodes, nDevices = 3, 6
+	seed := o.Seed + 23
+	n := o.n(1600)
+	if n%2 != 0 {
+		n++
+	}
+
+	specs := fleet.PresetDevices(nDevices, nil, seed)
+	nodeCfg := fleet.Config{
+		Shards:             2,
+		PreconditionFactor: 1.2,
+		Diagnosis:          fleet.FastDiagnosis(),
+	}
+	streams := make([][]fleet.Request, nDevices)
+	for i, spec := range specs {
+		reqs := trace.Generate(trace.RWMixed, 1<<20, seed+uint64(i)*7, n)
+		streams[i] = make([]fleet.Request, n)
+		for j, r := range reqs {
+			streams[i][j] = fleet.Request{DeviceID: spec.ID, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+		}
+	}
+	drive := func(submit func([]fleet.Request) error, from, to int) {
+		for step := from; step < to; step++ {
+			batch := make([]fleet.Request, nDevices)
+			for i := range specs {
+				batch[i] = streams[i][step]
+			}
+			if err := submit(batch); err != nil {
+				panic(err)
+			}
+		}
+	}
+	marshal := func(snaps []fleet.DeviceSnapshot) []byte {
+		for i := range snaps {
+			snaps[i].Shard = 0
+		}
+		b, err := json.Marshal(snaps)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+
+	// Baseline: one fleet, the full workload, no interruption.
+	baseCfg := nodeCfg
+	baseCfg.Devices = specs
+	base, err := fleet.New(baseCfg)
+	if err != nil {
+		panic(err)
+	}
+	drive(func(b []fleet.Request) error { _, err := base.SubmitBatch(b); return err }, 0, n)
+	baseSnaps := marshal(base.Devices())
+	base.Close()
+
+	// Cluster: same streams, one node killed at the halfway point.
+	h, err := cluster.NewHarness(cluster.HarnessConfig{
+		Nodes:   nNodes,
+		Devices: specs,
+		Node:    nodeCfg,
+		Policy:  cluster.Policy{Seed: seed},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	c := h.Coordinator()
+	before := c.Placement()
+
+	submit := func(b []fleet.Request) error { _, err := c.Submit(b); return err }
+	drive(submit, 0, n/2)
+	victim := before[specs[0].ID]
+	if err := c.Kill(victim); err != nil {
+		panic(err)
+	}
+	for {
+		if err := c.Tick(); err != nil {
+			panic(err)
+		}
+		done := false
+		for _, st := range c.Nodes() {
+			if st.ID == victim && st.Health == fleet.Quarantined {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+	}
+	drive(submit, n/2, n)
+
+	after := c.Placement()
+	res := ClusterFailoverResult{
+		Nodes:   nNodes,
+		Devices: nDevices,
+		Victim:  victim,
+	}
+	for _, tr := range c.Transitions() {
+		if tr.Node == victim && tr.To == fleet.Quarantined {
+			res.FailoverRound = tr.Round
+		}
+	}
+	byID := make(map[string]fleet.DeviceSnapshot, nDevices)
+	for _, node := range h.Nodes() {
+		for _, s := range node.Manager().Devices() {
+			byID[s.ID] = s
+		}
+	}
+	ordered := make([]fleet.DeviceSnapshot, nDevices)
+	for i, spec := range specs {
+		s := byID[spec.ID]
+		ordered[i] = s
+		moved := before[spec.ID] != after[spec.ID]
+		if moved {
+			res.DevicesMoved++
+		}
+		res.Rows = append(res.Rows, ClusterFailoverRow{
+			Device:      spec.ID,
+			OwnerBefore: before[spec.ID],
+			OwnerAfter:  after[spec.ID],
+			Moved:       moved,
+			Requests:    s.Counters.Requests,
+			HLAccuracy:  s.HLAccuracy,
+		})
+	}
+	res.Equivalent = bytes.Equal(marshal(ordered), baseSnaps)
+	cm := c.Metrics()
+	res.HLAccuracy = cm.HLAccuracy
+	res.NLAccuracy = cm.NLAccuracy
+	return res
+}

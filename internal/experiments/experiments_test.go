@@ -269,7 +269,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(Names()) != 17 {
+	if len(Names()) != 18 {
 		t.Fatalf("registry has %d entries", len(Names()))
 	}
 	var buf bytes.Buffer
@@ -394,5 +394,35 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if name != "fig6" && a.String() == c.String() {
 			t.Errorf("%s ignored the seed entirely", name)
 		}
+	}
+}
+
+func TestClusterFailoverShape(t *testing.T) {
+	r := ClusterFailover(small())
+	if r.Nodes != 3 || r.Devices != 6 || len(r.Rows) != 6 {
+		t.Fatalf("shape: %+v", r)
+	}
+	if r.Victim == "" || r.FailoverRound == 0 {
+		t.Fatalf("no failover recorded: %+v", r)
+	}
+	if r.DevicesMoved == 0 {
+		t.Fatal("killing a node moved no devices")
+	}
+	for _, row := range r.Rows {
+		if row.OwnerAfter == r.Victim {
+			t.Fatalf("device %s left on killed node", row.Device)
+		}
+		if row.Moved != (row.OwnerBefore != row.OwnerAfter) {
+			t.Fatalf("inconsistent move flag: %+v", row)
+		}
+	}
+	// The headline claim: the interrupted, rebalanced cluster run is
+	// statistically indistinguishable from one uninterrupted fleet.
+	if !r.Equivalent {
+		t.Fatal("cluster run diverged from single-fleet baseline")
+	}
+	out := renderNonEmpty(t, r)
+	if !strings.Contains(out, "byte-identical") {
+		t.Fatalf("render:\n%s", out)
 	}
 }

@@ -350,6 +350,12 @@ type Config struct {
 	// takes the standard defaults.
 	Model ModelPolicy
 
+	// AllowEmpty accepts a configuration with no devices. A cluster
+	// node starts this way — an empty manager whose members arrive
+	// later through Attach — so the usual "no devices" rejection would
+	// make restarted nodes unconstructable.
+	AllowEmpty bool
+
 	// Registry receives the fleet's metrics (request/error/retry
 	// counters, health gauges, latency histograms), which the daemon
 	// exposes in Prometheus text format. nil builds a private registry
@@ -389,7 +395,7 @@ func (c Config) withDefaults() Config {
 
 // Validate reports a descriptive error for an unusable configuration.
 func (c Config) Validate() error {
-	if len(c.Devices) == 0 {
+	if len(c.Devices) == 0 && !c.AllowEmpty {
 		return fmt.Errorf("fleet: no devices configured")
 	}
 	shards := c.withDefaults().Shards

@@ -33,8 +33,15 @@ type Manager struct {
 	stopProber chan struct{}
 
 	closeOnce sync.Once
-	mu        sync.RWMutex // guards closed vs. in-flight channel sends
-	closed    bool
+	// mu guards closed vs. in-flight channel sends, and — since devices
+	// can Attach and Detach at runtime — the devs map and order slice.
+	// Lock order is m.mu before md.mu.
+	mu     sync.RWMutex
+	closed bool
+
+	// attachAuto round-robins runtime-attached devices across shards,
+	// mirroring what New does for spec.Shard == 0.
+	attachAuto int
 
 	// Fleet-level registry gauges, refreshed by Metrics().
 	gDevices, gShards, gUnhealthy, gFallback *obs.Gauge
@@ -88,13 +95,10 @@ func New(cfg Config) (*Manager, error) {
 		}
 		md := &managedDevice{
 			id: spec.ID, name: dev.Name(), spec: spec, shard: sh, dev: dev,
-			rec:     cfg.Recorder,
-			stats:   newDeviceStats(cfg.Registry, spec.ID),
-			healthG: cfg.Registry.Gauge("ssdcheck_device_health", "Health state (0=healthy 1=degraded 2=quarantined 3=recovering).", obs.Label{Name: "device", Value: spec.ID}),
-			clockG:  cfg.Registry.Gauge("ssdcheck_device_clock_ns", "Device virtual clock, nanoseconds.", obs.Label{Name: "device", Value: spec.ID}),
-			modelG:  cfg.Registry.Gauge("ssdcheck_device_model_health", "Model-health state (0=calibrated 1=drifting 2=fallback 3=rediagnosing).", obs.Label{Name: "device", Value: spec.ID}),
-			rediagH: cfg.Registry.Histogram("ssdcheck_rediag_duration_seconds", "Re-diagnosis duration on the device's virtual clock.", obs.Label{Name: "device", Value: spec.ID}),
+			rec:   cfg.Recorder,
+			stats: newDeviceStats(cfg.Registry, spec.ID),
 		}
+		md.bindGauges(cfg.Registry)
 		if spec.Faults != nil {
 			inj, err := faults.New(dev, *spec.Faults)
 			if err != nil {
@@ -214,23 +218,30 @@ func (m *Manager) Close() {
 // Shards returns the worker-pool size.
 func (m *Manager) Shards() int { return m.cfg.Shards }
 
-// DeviceIDs returns the fleet's device IDs in configuration order.
+// DeviceIDs returns the fleet's device IDs in membership order
+// (configuration order, with runtime attaches appended).
 func (m *Manager) DeviceIDs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]string(nil), m.order...)
 }
 
 // Device returns a stats snapshot of one device.
 func (m *Manager) Device(id string) (DeviceSnapshot, bool) {
+	m.mu.RLock()
 	md, ok := m.devs[id]
+	m.mu.RUnlock()
 	if !ok {
 		return DeviceSnapshot{}, false
 	}
 	return md.snapshot(), true
 }
 
-// Devices returns stats snapshots of every device in configuration
+// Devices returns stats snapshots of every device in membership
 // order.
 func (m *Manager) Devices() []DeviceSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]DeviceSnapshot, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, m.devs[id].snapshot())
@@ -241,7 +252,9 @@ func (m *Manager) Devices() []DeviceSnapshot {
 // DeviceHealth returns one device's resilience view: health state,
 // anomaly streaks, and the full transition log.
 func (m *Manager) DeviceHealth(id string) (HealthReport, bool) {
+	m.mu.RLock()
 	md, ok := m.devs[id]
+	m.mu.RUnlock()
 	if !ok {
 		return HealthReport{}, false
 	}
@@ -263,7 +276,9 @@ func (m *Manager) DeviceHealth(id string) (HealthReport, bool) {
 // sliding accuracy windows, fallback/re-diagnosis counters, and the
 // full model-transition log.
 func (m *Manager) DeviceModel(id string) (ModelReport, bool) {
+	m.mu.RLock()
 	md, ok := m.devs[id]
+	m.mu.RUnlock()
 	if !ok {
 		return ModelReport{}, false
 	}
@@ -289,6 +304,8 @@ func (m *Manager) DeviceModel(id string) (ModelReport, bool) {
 // byte-identical across runs and shard counts given deterministic
 // per-device request streams.
 func (m *Manager) ModelLog() []DeviceModelLog {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]DeviceModelLog, 0, len(m.order))
 	for _, id := range m.order {
 		md := m.devs[id]
@@ -310,17 +327,17 @@ func (m *Manager) ModelLog() []DeviceModelLog {
 // is unknown, quarantined, or the re-diagnosis failed (the device then
 // serves conservative fallback predictions).
 func (m *Manager) Rediagnose(id string) error {
-	md, ok := m.devs[id]
-	if !ok {
-		return fmt.Errorf("device %q: %w", id, ErrUnknownDevice)
-	}
-
 	var wg sync.WaitGroup
 	var err error
 	m.mu.RLock()
 	if m.closed {
 		m.mu.RUnlock()
 		return ErrManagerClosed
+	}
+	md, ok := m.devs[id]
+	if !ok {
+		m.mu.RUnlock()
+		return fmt.Errorf("device %q: %w", id, ErrUnknownDevice)
 	}
 	wg.Add(1)
 	m.shards[md.shard].reqs <- shardBatch{rediag: md, rediagErr: &err, wg: &wg}
@@ -334,6 +351,8 @@ func (m *Manager) Rediagnose(id string) error {
 // and fault schedules, the marshaled log is byte-identical across
 // runs and shard counts.
 func (m *Manager) HealthLog() []DeviceHealthLog {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]DeviceHealthLog, 0, len(m.order))
 	for _, id := range m.order {
 		md := m.devs[id]
@@ -357,6 +376,8 @@ func (m *Manager) HealthLog() []DeviceHealthLog {
 // fleet-level registry gauges are refreshed, so the daemon's
 // Prometheus endpoint calls Metrics before exposition.
 func (m *Manager) Metrics() Metrics {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var c, acc Counters
 	var merged obs.HistogramSnapshot
 	unhealthy, fallback := 0, 0
@@ -365,7 +386,7 @@ func (m *Manager) Metrics() Metrics {
 		md.mu.Lock()
 		md.flushObsLocked()
 		devCounters := md.counters()
-		c = c.add(devCounters)
+		c = c.Add(devCounters)
 		inFallback := md.modelHealth == ModelFallback || md.modelHealth == ModelRediagnosing
 		if inFallback {
 			fallback++
@@ -376,7 +397,7 @@ func (m *Manager) Metrics() Metrics {
 			// Fallback devices serve deliberately conservative
 			// predictions; including them would smear the fleet
 			// accuracy figures with known-degraded models.
-			acc = acc.add(devCounters)
+			acc = acc.Add(devCounters)
 		}
 		merged.Merge(md.stats.lat.Snapshot())
 		md.mu.Unlock()
@@ -391,11 +412,29 @@ func (m *Manager) Metrics() Metrics {
 		UnhealthyDevices: unhealthy,
 		FallbackModels:   fallback,
 		Counters:         c,
+		AccuracyCounters: acc,
 		HLRate:           c.HLRate(),
 		HLAccuracy:       acc.HLAccuracy(),
 		NLAccuracy:       acc.NLAccuracy(),
-		Latency:          summarize(merged),
+		Latency:          Summarize(merged),
 	}
+}
+
+// LatencyDigest returns the merge of every device's latency histogram
+// buckets — the fleet's raw latency material, in mergeable form. The
+// cluster layer combines these across nodes to compute cluster-wide
+// percentiles without shipping samples.
+func (m *Manager) LatencyDigest() obs.HistogramSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var merged obs.HistogramSnapshot
+	for _, id := range m.order {
+		md := m.devs[id]
+		md.mu.Lock()
+		merged.Merge(md.stats.lat.Snapshot())
+		md.mu.Unlock()
+	}
+	return merged
 }
 
 // Registry returns the metrics registry the fleet records into — the

@@ -146,7 +146,10 @@ type LatencySummary struct {
 	Max     time.Duration `json:"max_ns"`
 }
 
-func summarize(s obs.HistogramSnapshot) LatencySummary {
+// Summarize digests a latency histogram snapshot into the standard
+// percentile summary. Exported so the cluster layer can summarize a
+// cross-node merged snapshot with the same definition the fleet uses.
+func Summarize(s obs.HistogramSnapshot) LatencySummary {
 	return LatencySummary{
 		Samples: int(s.Count),
 		Mean:    s.Mean(),
@@ -187,7 +190,9 @@ type Counters struct {
 	Rediags  int64 `json:"rediags"`
 }
 
-func (c Counters) add(o Counters) Counters {
+// Add returns the element-wise sum — how per-device counters roll up
+// into fleet totals, and fleet totals into cluster totals.
+func (c Counters) Add(o Counters) Counters {
 	c.Requests += o.Requests
 	c.Reads += o.Reads
 	c.Writes += o.Writes
@@ -267,11 +272,16 @@ type DeviceSnapshot struct {
 // cover only devices currently in service; quarantined devices are
 // tallied in the UnhealthyDevices gauge instead.
 type Metrics struct {
-	Devices          int            `json:"devices"`
-	Shards           int            `json:"shards"`
-	UnhealthyDevices int            `json:"unhealthy_devices"`
-	FallbackModels   int            `json:"fallback_models"`
-	Counters         Counters       `json:"counters"`
+	Devices          int      `json:"devices"`
+	Shards           int      `json:"shards"`
+	UnhealthyDevices int      `json:"unhealthy_devices"`
+	FallbackModels   int      `json:"fallback_models"`
+	Counters         Counters `json:"counters"`
+	// AccuracyCounters is the subset of Counters behind the accuracy
+	// figures — in-service, non-fallback devices only. Exported so the
+	// cluster layer can sum it across nodes and recompute merged
+	// accuracy exactly.
+	AccuracyCounters Counters       `json:"accuracy_counters"`
 	HLRate           float64        `json:"hl_rate"`
 	HLAccuracy       float64        `json:"hl_accuracy"`
 	NLAccuracy       float64        `json:"nl_accuracy"`
@@ -295,7 +305,7 @@ func (md *managedDevice) snapshot() DeviceSnapshot {
 		HLRate:           c.HLRate(),
 		HLAccuracy:       c.HLAccuracy(),
 		NLAccuracy:       c.NLAccuracy(),
-		Latency:          summarize(md.stats.lat.Snapshot()),
+		Latency:          Summarize(md.stats.lat.Snapshot()),
 		PredictorEnabled: md.enabled,
 		Model:            md.model,
 		Clock:            md.clock,

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"ssdcheck/internal/obs"
+)
+
+// PortableDevice is a fleet member in transit between managers: the
+// device simulator, its predictor, virtual clock, health and model
+// state machines, and cumulative stats, detached from any shard. The
+// cluster layer moves these between nodes on rebalancing and failover
+// — the moral equivalent of re-opening a drive's state from a shared
+// store on its new host. A handle is single-use: Attach consumes it.
+type PortableDevice struct {
+	md *managedDevice
+}
+
+// ID returns the device's fleet-unique identifier, or "" for a spent
+// handle.
+func (p *PortableDevice) ID() string {
+	if p == nil || p.md == nil {
+		return ""
+	}
+	return p.md.id
+}
+
+// Snapshot returns the detached device's stats snapshot (Shard is the
+// shard it last ran on).
+func (p *PortableDevice) Snapshot() DeviceSnapshot {
+	if p == nil || p.md == nil {
+		return DeviceSnapshot{}
+	}
+	return p.md.snapshot()
+}
+
+// Detach removes a device from the fleet and returns it as a portable
+// handle. It blocks until the owning shard has relinquished the device,
+// so the caller holds the only live reference on return. The device's
+// metric series are withdrawn from this manager's registry; its
+// cumulative tallies, latency histogram and transition logs travel with
+// the handle and republish wherever it attaches.
+func (m *Manager) Detach(id string) (*PortableDevice, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	md, ok := m.devs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("device %q: %w", id, ErrUnknownDevice)
+	}
+	delete(m.devs, id)
+	for i, d := range m.order {
+		if d == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	m.shards[md.shard].reqs <- shardBatch{detach: md, wg: &wg}
+	m.mu.Unlock()
+	wg.Wait()
+
+	m.cfg.Registry.DropSeries(obs.Label{Name: "device", Value: id})
+	return &PortableDevice{md: md}, nil
+}
+
+// Attach adds a detached device to this fleet, assigning it to a shard
+// round-robin. The device's series re-register in this manager's
+// registry with their cumulative values (counters republish in full,
+// histogram buckets carry over), and this manager's policies govern it
+// from here on. The handle is spent afterwards.
+func (m *Manager) Attach(pd *PortableDevice) error {
+	if pd == nil || pd.md == nil {
+		return fmt.Errorf("fleet: attach of nil or spent device handle")
+	}
+	md := pd.md
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrManagerClosed
+	}
+	if _, dup := m.devs[md.id]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: attach: duplicate device ID %q", md.id)
+	}
+	sh := m.attachAuto % len(m.shards)
+	m.attachAuto++
+	md.rebind(m.cfg, sh)
+	m.devs[md.id] = md
+	m.order = append(m.order, md.id)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	m.shards[sh].reqs <- shardBatch{attach: md, wg: &wg}
+	m.mu.Unlock()
+	wg.Wait()
+	pd.md = nil
+	return nil
+}
+
+// rebind points a quiescent (detached) device at its new manager's
+// observability and shard. Counter tallies keep their values and flush
+// from zero, so the new registry's series land on the cumulative
+// counts; histogram observations are carried over bucket-wise.
+func (md *managedDevice) rebind(cfg Config, shard int) {
+	md.shard = shard
+	md.rec = cfg.Recorder
+	md.pr.SetRecorder(cfg.Recorder, md.id)
+
+	md.mu.Lock()
+	oldStats := md.stats
+	oldRediagH := md.rediagH
+	md.stats = newDeviceStats(cfg.Registry, md.id)
+	md.stats.vals = oldStats.vals
+	md.stats.lat.AddSnapshot(oldStats.lat.Snapshot())
+	md.bindGauges(cfg.Registry)
+	md.rediagH.AddSnapshot(oldRediagH.Snapshot())
+	md.flushObsLocked()
+	md.mu.Unlock()
+}

@@ -57,6 +57,16 @@ func (m *Manager) SubmitBatch(reqs []Request) ([]Result, error) {
 	}
 	out := make([]Result, len(reqs))
 
+	// The read lock covers device lookup (membership changes under the
+	// write lock via Attach/Detach) and orders every channel send before
+	// Close's close(sh.reqs); shards keep draining until the channels
+	// close, so a send accepted here always completes.
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return nil, ErrManagerClosed
+	}
+
 	// Validate addressing up front; invalid entries fail in place and
 	// are never dispatched.
 	perShard := make(map[*shard][]batchItem)
@@ -78,20 +88,12 @@ func (m *Manager) SubmitBatch(reqs []Request) ([]Result, error) {
 		perShard[sh] = append(perShard[sh], batchItem{md: md, req: r.block(), idx: i})
 	}
 	if len(perShard) == 0 {
+		m.mu.RUnlock()
 		return out, nil
 	}
 
 	var wg sync.WaitGroup
 	wg.Add(len(perShard))
-
-	// The read lock orders every channel send before Close's
-	// close(sh.reqs); shards keep draining until the channels close, so
-	// a send accepted here always completes.
-	m.mu.RLock()
-	if m.closed {
-		m.mu.RUnlock()
-		return nil, ErrManagerClosed
-	}
 	for sh, items := range perShard {
 		sh.reqs <- shardBatch{items: items, out: out, wg: &wg}
 	}

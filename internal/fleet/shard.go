@@ -304,6 +304,16 @@ func (md *managedDevice) publishLocked() {
 	md.driftRep = md.pr.Drift()
 }
 
+// bindGauges registers (or re-binds, after a move between managers)
+// the device's state gauges and re-diagnosis histogram in reg.
+func (md *managedDevice) bindGauges(reg *obs.Registry) {
+	dev := obs.Label{Name: "device", Value: md.id}
+	md.healthG = reg.Gauge("ssdcheck_device_health", "Health state (0=healthy 1=degraded 2=quarantined 3=recovering).", dev)
+	md.clockG = reg.Gauge("ssdcheck_device_clock_ns", "Device virtual clock, nanoseconds.", dev)
+	md.modelG = reg.Gauge("ssdcheck_device_model_health", "Model-health state (0=calibrated 1=drifting 2=fallback 3=rediagnosing).", dev)
+	md.rediagH = reg.Histogram("ssdcheck_rediag_duration_seconds", "Re-diagnosis duration on the device's virtual clock.", dev)
+}
+
 // flushObsLocked pushes the device's plain tallies and state gauges
 // into the registry. Every read path (snapshot, fleet metrics, health
 // report) calls it under md.mu, so the registry is exact whenever it
@@ -370,9 +380,10 @@ type batchItem struct {
 // process in order, writing each result into its own slot of out; or —
 // when probe is set — a sweep that recovery-probes the shard's
 // quarantined devices; or — when rediag is set — a synchronous forced
-// re-diagnosis of one device, its error written through rediagErr.
-// Slots are disjoint across shards, and wg publishes the writes to the
-// caller.
+// re-diagnosis of one device, its error written through rediagErr; or —
+// when attach/detach is set — a membership change handing device
+// ownership to or away from this shard's goroutine. Slots are disjoint
+// across shards, and wg publishes the writes to the caller.
 type shardBatch struct {
 	items     []batchItem
 	out       []Result
@@ -380,6 +391,8 @@ type shardBatch struct {
 	probe     bool
 	rediag    *managedDevice
 	rediagErr *error
+	attach    *managedDevice
+	detach    *managedDevice
 }
 
 // shard owns a disjoint subset of the fleet's devices and processes
@@ -393,6 +406,23 @@ type shard struct {
 func (s *shard) run(done *sync.WaitGroup, cfg Config) {
 	defer done.Done()
 	for b := range s.reqs {
+		if b.attach != nil {
+			// Ownership handoff: from here on this goroutine is the only
+			// one touching the device's simulator and predictor.
+			s.devs = append(s.devs, b.attach)
+			b.wg.Done()
+			continue
+		}
+		if b.detach != nil {
+			for i, md := range s.devs {
+				if md == b.detach {
+					s.devs = append(s.devs[:i], s.devs[i+1:]...)
+					break
+				}
+			}
+			b.wg.Done()
+			continue
+		}
 		if b.rediag != nil {
 			*b.rediagErr = b.rediag.forceRediag(cfg)
 			b.wg.Done()

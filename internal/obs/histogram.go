@@ -83,6 +83,28 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// AddSnapshot folds a previously captured snapshot into the live
+// histogram. The fleet uses it when a device attaches to a new manager:
+// the device's latency history, carried across as a snapshot, lands in
+// the new registry's series so merged views stay cumulative across
+// moves.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	for i, c := range s.Counts {
+		if c != 0 {
+			atomic.AddInt64(&h.counts[i], c)
+		}
+	}
+	if s.Sum != 0 {
+		h.sum.Add(s.Sum)
+	}
+	for {
+		m := h.max.Load()
+		if s.Max <= m || h.max.CompareAndSwap(m, s.Max) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	var n int64

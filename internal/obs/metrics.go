@@ -42,10 +42,11 @@ type Label struct {
 
 // metric is one registered series.
 type metric struct {
-	labels  string // rendered {k="v",...}, "" when unlabeled
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
+	labels    string  // rendered {k="v",...}, "" when unlabeled
+	labelList []Label // the pairs behind the rendered form, sorted by name
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
 	// scale divides histogram nanosecond bounds on exposition so
 	// latency histograms follow the Prometheus seconds convention.
 	scale float64
@@ -73,14 +74,21 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// sortedLabels returns a copy of labels sorted by name — the canonical
+// order every rendered series uses.
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
 // renderLabels builds the deterministic {k="v"} suffix (sorted by
 // label name, values escaped).
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	ls := sortedLabels(labels)
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range ls {
@@ -117,7 +125,7 @@ func (r *Registry) lookup(name, help, typ string, labels []Label) *metric {
 	key := renderLabels(labels)
 	m := f.series[key]
 	if m == nil {
-		m = &metric{labels: key}
+		m = &metric{labels: key, labelList: sortedLabels(labels)}
 		switch typ {
 		case "counter":
 			m.counter = &Counter{}
@@ -192,7 +200,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case "gauge":
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.m.gauge.Value())
 			case "histogram":
-				writeHistogram(bw, f.name, s.labels, s.m)
+				writeHistogram(bw, f.name, s.labels, s.m.hist, s.m.scale)
 			}
 		}
 	}
@@ -201,8 +209,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writeHistogram renders one histogram series: cumulative buckets with
 // seconds-unit le bounds, then _sum and _count.
-func writeHistogram(w io.Writer, name, labels string, m *metric) {
-	snap := m.hist.Snapshot()
+func writeHistogram(w io.Writer, name, labels string, h *Histogram, scale float64) {
+	snap := h.Snapshot()
 	// Re-render labels with le appended; labels is "" or "{...}".
 	bucketLabels := func(le string) string {
 		if labels == "" {
@@ -217,13 +225,127 @@ func writeHistogram(w io.Writer, name, labels string, m *metric) {
 		}
 		cum += c
 		_, hi := bucketBounds(i)
-		le := strconv.FormatFloat(float64(hi)/m.scale, 'g', -1, 64)
+		le := strconv.FormatFloat(float64(hi)/scale, 'g', -1, 64)
 		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(le), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), snap.Count)
-	sum := strconv.FormatFloat(float64(snap.Sum)/m.scale, 'g', -1, 64)
+	sum := strconv.FormatFloat(float64(snap.Sum)/scale, 'g', -1, 64)
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, sum)
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// DropSeries removes every registered series that carries the given
+// label pair, across all families. The fleet calls it when a device is
+// detached (it moves to another manager — and typically another
+// registry — taking its cumulative state along), so a registry never
+// keeps reporting stale series for members it no longer owns. Families
+// left without series stay registered and render as headers only,
+// which is valid exposition.
+func (r *Registry) DropSeries(l Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		for key, m := range f.series {
+			for _, ml := range m.labelList {
+				if ml == l {
+					delete(f.series, key)
+					break
+				}
+			}
+		}
+	}
+}
+
+// RegistrySource names one registry inside a merged exposition: Name
+// becomes the injected label's value for every series the registry
+// contributes. An empty Name contributes its series unmodified — the
+// slot a cluster coordinator uses for its own (already fully labeled)
+// metrics.
+type RegistrySource struct {
+	Name string
+	Reg  *Registry
+}
+
+// WritePrometheusMerged renders several registries as one Prometheus
+// exposition, tagging every series with labelName="<source name>" —
+// the cluster daemon's federated /metrics view over its per-node
+// registries. Families keep first-seen registration order across the
+// sources (sources are visited in the given order), series within a
+// family sort by their rendered labels, and histograms render through
+// the same path as single-registry exposition, so the merged output is
+// deterministic whenever the underlying metrics are.
+func WritePrometheusMerged(w io.Writer, labelName string, sources []RegistrySource) error {
+	type flatSeries struct {
+		labels string
+		hist   *Histogram
+		scale  float64
+		value  func() int64
+		typ    string
+	}
+	type flatFamily struct {
+		name, help, typ string
+		series          []flatSeries
+	}
+	var fams []flatFamily
+	index := make(map[string]int)
+
+	for _, src := range sources {
+		if src.Reg == nil {
+			continue
+		}
+		src.Reg.mu.Lock()
+		for _, name := range src.Reg.order {
+			f := src.Reg.families[name]
+			i, ok := index[name]
+			if !ok {
+				i = len(fams)
+				index[name] = i
+				fams = append(fams, flatFamily{name: f.name, help: f.help, typ: f.typ})
+			} else if fams[i].typ != f.typ {
+				src.Reg.mu.Unlock()
+				return fmt.Errorf("obs: metric %q is a %s in one source and a %s in another", name, fams[i].typ, f.typ)
+			}
+			for _, m := range f.series {
+				ls := m.labelList
+				rendered := m.labels
+				if src.Name != "" {
+					ls = append(append([]Label(nil), ls...), Label{Name: labelName, Value: src.Name})
+					rendered = renderLabels(ls)
+				}
+				fs := flatSeries{labels: rendered, typ: f.typ}
+				switch f.typ {
+				case "counter":
+					c := m.counter
+					fs.value = c.Value
+				case "gauge":
+					g := m.gauge
+					fs.value = g.Value
+				case "histogram":
+					fs.hist, fs.scale = m.hist, m.scale
+				}
+				fams[i].series = append(fams[i].series, fs)
+			}
+		}
+		src.Reg.mu.Unlock()
+	}
+
+	bw := &errWriter{w: w}
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch s.typ {
+			case "counter", "gauge":
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.value())
+			case "histogram":
+				writeHistogram(bw, f.name, s.labels, s.hist, s.scale)
+			}
+		}
+	}
+	return bw.err
 }
 
 // errWriter remembers the first write error so the exposition loop can

@@ -149,3 +149,121 @@ func TestHistogramExposition(t *testing.T) {
 		t.Error("no _sum line")
 	}
 }
+
+func TestDropSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", Label{"device", "a"}).Add(3)
+	r.Counter("reqs_total", "requests", Label{"device", "b"}).Add(5)
+	r.Histogram("lat_seconds", "latency", Label{"device", "a"}).Observe(time.Millisecond)
+	r.Gauge("temp", "temperature").Set(9)
+
+	r.DropSeries(Label{"device", "a"})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `device="a"`) {
+		t.Errorf("dropped series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `reqs_total{device="b"} 5`) {
+		t.Errorf("unrelated series lost:\n%s", out)
+	}
+	if !strings.Contains(out, "temp 9") {
+		t.Errorf("unlabeled series lost:\n%s", out)
+	}
+	// The emptied family keeps its header — valid exposition.
+	if !strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Errorf("emptied family header missing:\n%s", out)
+	}
+	// Re-registering after a drop starts a fresh series.
+	if got := r.Counter("reqs_total", "requests", Label{"device", "a"}).Value(); got != 0 {
+		t.Errorf("re-registered counter = %d, want 0", got)
+	}
+}
+
+func TestHistogramAddSnapshot(t *testing.T) {
+	var src Histogram
+	for _, d := range []time.Duration{50 * time.Microsecond, 2 * time.Millisecond, 7 * time.Millisecond} {
+		src.Observe(d)
+	}
+	var dst Histogram
+	dst.Observe(time.Millisecond)
+	dst.AddSnapshot(src.Snapshot())
+
+	got := dst.Snapshot()
+	if got.Count != 4 {
+		t.Errorf("count = %d, want 4", got.Count)
+	}
+	want := src.Snapshot().Sum + int64(time.Millisecond)
+	if got.Sum != want {
+		t.Errorf("sum = %d, want %d", got.Sum, want)
+	}
+	if got.MaxValue() != 7*time.Millisecond {
+		t.Errorf("max = %v, want 7ms", got.MaxValue())
+	}
+	// Folding into an empty histogram reproduces the source exactly.
+	var fresh Histogram
+	fresh.AddSnapshot(src.Snapshot())
+	if fresh.Snapshot() != src.Snapshot() {
+		t.Error("snapshot round-trip through AddSnapshot diverged")
+	}
+}
+
+func TestWritePrometheusMerged(t *testing.T) {
+	mk := func(devReqs int64) *Registry {
+		r := NewRegistry()
+		r.Counter("reqs_total", "requests", Label{"device", "d0"}).Add(devReqs)
+		r.Gauge("up", "liveness").Set(1)
+		r.Histogram("lat_seconds", "latency", Label{"device", "d0"}).Observe(time.Millisecond)
+		return r
+	}
+	cl := NewRegistry()
+	cl.Gauge("cluster_nodes", "member count").Set(2)
+
+	sources := []RegistrySource{
+		{Name: "", Reg: cl},
+		{Name: "n0", Reg: mk(3)},
+		{Name: "n1", Reg: mk(8)},
+	}
+	var one, two strings.Builder
+	if err := WritePrometheusMerged(&one, "node", sources); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusMerged(&two, "node", sources); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two merged renders differ")
+	}
+	out := one.String()
+	if !strings.Contains(out, `reqs_total{device="d0",node="n0"} 3`) ||
+		!strings.Contains(out, `reqs_total{device="d0",node="n1"} 8`) {
+		t.Errorf("per-node counter series missing:\n%s", out)
+	}
+	// The unnamed source's series carry no node label.
+	if !strings.Contains(out, "cluster_nodes 2\n") {
+		t.Errorf("cluster-level series missing or mislabeled:\n%s", out)
+	}
+	// One TYPE header per family even when several sources contribute.
+	if n := strings.Count(out, "# TYPE reqs_total counter"); n != 1 {
+		t.Errorf("reqs_total TYPE header appears %d times, want 1", n)
+	}
+	// Histogram series carry the node label on buckets too.
+	if !strings.Contains(out, `node="n1",le=`) {
+		t.Errorf("histogram buckets missing node label:\n%s", out)
+	}
+}
+
+func TestWritePrometheusMergedTypeConflict(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x_total", "h").Inc()
+	b := NewRegistry()
+	b.Gauge("x_total", "h").Set(1)
+	err := WritePrometheusMerged(&strings.Builder{}, "node",
+		[]RegistrySource{{Name: "a", Reg: a}, {Name: "b", Reg: b}})
+	if err == nil {
+		t.Error("conflicting family types merged without error")
+	}
+}

@@ -22,6 +22,7 @@ package ssdcheck
 
 import (
 	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/cluster"
 	"ssdcheck/internal/core"
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/faults"
@@ -253,6 +254,51 @@ var FleetPresetDevices = fleet.PresetDevices
 // FastDiagnosis returns reduced-strength diagnosis options for quick
 // fleet startup in examples, tests and benchmarks.
 var FastDiagnosis = fleet.FastDiagnosis
+
+// Cluster mode (beyond the paper): several fleet nodes behind a
+// coordinator with consistent-hash device placement, heartbeat-driven
+// node health, failover and merged observability. See internal/cluster
+// and cmd/ssdcheck-cluster for the HTTP daemon built on top of it.
+type (
+	// ClusterHarness is a deterministic in-process multi-node cluster.
+	ClusterHarness = cluster.Harness
+	// ClusterHarnessConfig parameterizes a harness.
+	ClusterHarnessConfig = cluster.HarnessConfig
+	// ClusterCoordinator is the control plane: placement ring, health
+	// machines, failover, fan-out submit, merged metrics.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterPolicy tunes heartbeats, health thresholds and the ring.
+	ClusterPolicy = cluster.Policy
+	// ClusterNode is one member: a fleet manager with an identity and a
+	// serving switch.
+	ClusterNode = cluster.Node
+	// ClusterResult is one request's outcome with node attribution.
+	ClusterResult = cluster.Result
+	// ClusterMetrics is the merged cluster-wide aggregate view.
+	ClusterMetrics = cluster.Metrics
+	// ClusterRing is the consistent-hash placement ring.
+	ClusterRing = cluster.Ring
+
+	// NodeFaultPlan is a seeded set of node-level fault schedules
+	// (heartbeat loss, partition, slow node) for the harness transport.
+	NodeFaultPlan = faults.NodePlan
+	// NodeFaultSchedule arms one node-level fault window.
+	NodeFaultSchedule = faults.NodeSchedule
+)
+
+// The injectable node-level fault classes.
+const (
+	NodeFaultHeartbeatLoss = faults.HeartbeatLoss
+	NodeFaultPartition     = faults.Partition
+	NodeFaultSlowNode      = faults.SlowNode
+)
+
+// NewClusterHarness stands up an in-process cluster: nodes join the
+// ring, every device is diagnosed once in a bootstrap fleet, and each
+// is placed on the node the ring names. Close it when done.
+func NewClusterHarness(cfg ClusterHarnessConfig) (*ClusterHarness, error) {
+	return cluster.NewHarness(cfg)
+}
 
 // Fault injection and fleet resilience (beyond the paper): a seedable
 // fault injector that wraps any Device, and the fleet's health state
