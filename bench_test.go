@@ -11,6 +11,8 @@ package ssdcheck_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -324,6 +326,53 @@ func BenchmarkClusterSubmit(b *testing.B) {
 			b.ReportMetric(total/elapsed, "predictions/s")
 		})
 	}
+}
+
+// BenchmarkHTTPTransportSubmit measures the networked submit path —
+// JSON over a localhost HTTP loopback into the token-deduped node API
+// — against BenchmarkClusterSubmit's in-process fan-out, isolating the
+// wire cost (encode, TCP, decode, dedupe bookkeeping) per request.
+func BenchmarkHTTPTransportSubmit(b *testing.B) {
+	const nDevices, batch = 4, 64
+	specs := ssdcheck.FleetPresetDevices(nDevices, nil, 42)
+	node, err := ssdcheck.NewClusterNode("bench-node", ssdcheck.FleetConfig{
+		Devices:            specs,
+		PreconditionFactor: 1.2,
+		Diagnosis:          ssdcheck.FastDiagnosis(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/node/", http.StripPrefix("/v1/node",
+		ssdcheck.ClusterNodeAPIHandler(ssdcheck.NewClusterNodeAPI(node, 0))))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	remote, err := ssdcheck.NewClusterRemoteNode("bench-node", srv.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := ssdcheck.NewClusterHTTPTransport(ssdcheck.ClusterRPCPolicy{}, 42, nil)
+
+	reqs := make([]ssdcheck.FleetRequest, batch)
+	gen := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, 42, batch)
+	for i, r := range gen {
+		reqs[i] = ssdcheck.FleetRequest{
+			DeviceID: specs[i%nDevices].ID, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors,
+		}
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for sent := 0; sent < b.N; sent += batch {
+		if _, err := tr.Submit(remote, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	sent := float64((b.N + batch - 1) / batch * batch)
+	b.ReportMetric(sent/elapsed, "predictions/s")
 }
 
 // BenchmarkPredict backs the paper's claim that per-request prediction

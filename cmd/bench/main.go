@@ -1,6 +1,6 @@
 // Command bench runs the repository's key benchmarks and writes the
 // parsed results as JSON, so performance numbers can be checked in and
-// compared across revisions (see BENCH_PR6.json and tools/bench.sh).
+// compared across revisions (see BENCH_PR7.json and tools/bench.sh).
 //
 // Usage:
 //
@@ -31,6 +31,7 @@ var keyBenchmarks = []string{
 	"BenchmarkPredict",
 	"BenchmarkFleetSubmit",
 	"BenchmarkClusterSubmit",
+	"BenchmarkHTTPTransportSubmit",
 	"BenchmarkDiagnosis",
 	"BenchmarkFig03_PrototypeAblation",
 }

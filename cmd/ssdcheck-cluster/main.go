@@ -16,7 +16,9 @@
 //	POST /v1/cluster/nodes/{id}/join         add a fresh empty node and rebalance onto it
 //	GET  /v1/cluster/placement               device→node map plus the seq-stamped placement log
 //	GET  /v1/cluster/transitions             node health-transition log
+//	GET  /v1/cluster/breakers                per-node circuit-breaker states and transition log
 //	GET  /v1/cluster/metrics                 merged cluster aggregate (JSON)
+//	GET  /v1/traces                          merged cross-node traces, node-stamped (?device=, ?node=, ?format=chrome)
 //	POST /v1/cluster/tick                    run one heartbeat round now
 //	GET  /metrics                            merged Prometheus exposition (node-labeled)
 //	GET  /v1/version                         build identity, role and uptime
@@ -32,6 +34,22 @@
 //
 //	ssdcheck-cluster -addr :8090 -nodes 3 -devices 12 -fastdiag
 //	ssdcheck-cluster -nodes 5 -devices 40 -vnodes 256 -tick-interval 500ms
+//
+// With -join the daemon runs in networked mode: instead of hosting
+// nodes in-process, it drives real ssdcheckd processes over their
+// /v1/node/* API through an HTTP transport with per-attempt
+// deadlines, bounded retries, idempotency tokens and per-node circuit
+// breakers. -wal-dir makes the coordinator crash-recoverable in
+// either mode: every placement, health, and breaker decision is
+// durably logged, and a restarted coordinator replays snapshot+tail
+// and resumes where it stopped (remote members resolve back from
+// their logged addresses; hosted mode needs a fresh directory since
+// in-process device state dies with the process).
+//
+//	ssdcheckd -addr :8801 -node-id node-a -devices 0 ... &
+//	ssdcheckd -addr :8802 -node-id node-b -devices 0 ... &
+//	ssdcheck-cluster -join node-a=http://127.0.0.1:8801,node-b=http://127.0.0.1:8802 \
+//	    -devices 8 -fastdiag -wal-dir /var/lib/ssdcheck/coordinator
 package main
 
 import (
@@ -49,6 +67,7 @@ import (
 
 	"ssdcheck/internal/cluster"
 	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
 )
 
 func main() {
@@ -61,6 +80,11 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
 	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
 	tickInterval := flag.Duration("tick-interval", time.Second, "wall-clock heartbeat round period (0 = manual via POST /v1/cluster/tick)")
+	walDir := flag.String("wal-dir", "", "coordinator WAL directory: decisions are durably logged and replayed on restart")
+	joinSpec := flag.String("join", "", "networked mode: remote members as id=baseURL[,id=baseURL...], driven over their /v1/node/* API")
+	rpcDeadline := flag.Duration("rpc-deadline", 0, "per-attempt RPC deadline in networked mode (0 = default)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests each hosted node traces, 0..1 (0 = off)")
+	traceBuffer := flag.Int("trace-buffer", 256, "retained traces per device per node")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ssdcheck-cluster: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -68,52 +92,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*addr, *nodes, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval); err != nil {
+	var err error
+	if *joinSpec != "" {
+		err = runRemote(*addr, *joinSpec, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval, *walDir, *rpcDeadline)
+	} else {
+		err = run(*addr, *nodes, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval, *walDir, *traceSample, *traceBuffer)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheck-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes, devices int, presets string, shards int, seed uint64, vnodes int, fastDiag bool, tickInterval time.Duration) error {
-	if nodes <= 0 {
-		return fmt.Errorf("need at least one node (-nodes)")
-	}
-	if devices <= 0 {
-		return fmt.Errorf("need at least one device (-devices)")
-	}
-	if tickInterval < 0 {
-		return fmt.Errorf("-tick-interval %v is negative", tickInterval)
-	}
-	var cycle []string
-	for _, p := range strings.Split(presets, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			cycle = append(cycle, p)
-		}
-	}
-
-	nodeCfg := fleet.Config{Shards: shards}
-	if fastDiag {
-		nodeCfg.Diagnosis = fleet.FastDiagnosis()
-	}
-
-	log.Printf("bootstrapping %d devices across %d nodes...", devices, nodes)
-	start := time.Now()
-	h, err := cluster.NewHarness(cluster.HarnessConfig{
-		Nodes:   nodes,
-		Devices: fleet.PresetDevices(devices, cycle, seed),
-		Node:    nodeCfg,
-		Policy:  cluster.Policy{Seed: seed, VirtualNodes: vnodes},
-	})
-	if err != nil {
-		return err
-	}
-	defer h.Close()
-	for _, st := range h.Coordinator().Nodes() {
-		log.Printf("  %s: %d devices", st.ID, st.Devices)
-	}
-	log.Printf("cluster up in %v", time.Since(start).Round(time.Millisecond))
-
-	srv := &http.Server{Addr: addr, Handler: newServer(h, nodeCfg)}
+// serve runs the HTTP front end and the optional wall-clock heartbeat
+// ticker over an up-and-running coordinator, then shuts down
+// gracefully on SIGINT/SIGTERM.
+func serve(addr string, c *cluster.Coordinator, newMember func(id, addr string) (*cluster.Node, error), tickInterval time.Duration, closeAll func()) error {
+	srv := &http.Server{Addr: addr, Handler: newServer(c, newMember)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,7 +120,7 @@ func run(addr string, nodes, devices int, presets string, shards int, seed uint6
 			for {
 				select {
 				case <-ticker.C:
-					if err := h.Coordinator().Tick(); err != nil {
+					if err := c.Tick(); err != nil {
 						return
 					}
 				case <-ctx.Done():
@@ -153,7 +148,155 @@ func run(addr string, nodes, devices int, presets string, shards int, seed uint6
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	h.Close()
+	closeAll()
 	log.Printf("cluster drained, bye")
 	return nil
+}
+
+func parseCycle(presets string) []string {
+	var cycle []string
+	for _, p := range strings.Split(presets, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cycle = append(cycle, p)
+		}
+	}
+	return cycle
+}
+
+func run(addr string, nodes, devices int, presets string, shards int, seed uint64, vnodes int, fastDiag bool, tickInterval time.Duration, walDir string, traceSample float64, traceBuffer int) error {
+	if nodes <= 0 {
+		return fmt.Errorf("need at least one node (-nodes)")
+	}
+	if devices <= 0 {
+		return fmt.Errorf("need at least one device (-devices)")
+	}
+	if tickInterval < 0 {
+		return fmt.Errorf("-tick-interval %v is negative", tickInterval)
+	}
+	if traceSample < 0 || traceSample > 1 {
+		return fmt.Errorf("-trace-sample %v outside [0,1]", traceSample)
+	}
+
+	nodeCfg := fleet.Config{Shards: shards}
+	if fastDiag {
+		nodeCfg.Diagnosis = fleet.FastDiagnosis()
+	}
+
+	log.Printf("bootstrapping %d devices across %d nodes...", devices, nodes)
+	start := time.Now()
+	h, err := cluster.NewHarness(cluster.HarnessConfig{
+		Nodes:       nodes,
+		Devices:     fleet.PresetDevices(devices, parseCycle(presets), seed),
+		Node:        nodeCfg,
+		Policy:      cluster.Policy{Seed: seed, VirtualNodes: vnodes},
+		WALDir:      walDir, // fresh directory: hosted-mode WALs don't outlive the process's device state
+		TraceSample: traceSample,
+		TraceBuffer: traceBuffer,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for _, st := range h.Coordinator().Nodes() {
+		log.Printf("  %s: %d devices", st.ID, st.Devices)
+	}
+	log.Printf("cluster up in %v", time.Since(start).Round(time.Millisecond))
+
+	newMember := func(id, _ string) (*cluster.Node, error) { return cluster.NewNode(id, nodeCfg) }
+	return serve(addr, h.Coordinator(), newMember, tickInterval, h.Close)
+}
+
+// runRemote drives real ssdcheckd processes over their /v1/node/*
+// API: an HTTP transport with deadlines, retries, idempotency tokens
+// and per-node circuit breakers, plus (with -wal-dir) a
+// crash-recoverable coordinator — on restart the WAL replays and the
+// remote members resolve back from their logged addresses.
+func runRemote(addr, joinSpec string, devices int, presets string, shards int, seed uint64, vnodes int, fastDiag bool, tickInterval time.Duration, walDir string, rpcDeadline time.Duration) error {
+	if tickInterval < 0 {
+		return fmt.Errorf("-tick-interval %v is negative", tickInterval)
+	}
+	type memberSpec struct{ id, addr string }
+	var members []memberSpec
+	for _, part := range strings.Split(joinSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("-join entry %q: want id=baseURL", part)
+		}
+		members = append(members, memberSpec{id: strings.TrimSpace(id), addr: strings.TrimSpace(url)})
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("-join named no members")
+	}
+
+	reg := obs.NewRegistry()
+	tr := cluster.NewHTTPTransport(cluster.RPCPolicy{Deadline: rpcDeadline}, seed, reg)
+	pol := cluster.Policy{Seed: seed, VirtualNodes: vnodes}
+
+	var c *cluster.Coordinator
+	var err error
+	if walDir != "" {
+		c, err = cluster.RecoverCoordinator(pol, tr, reg, walDir, nil)
+	} else {
+		c, err = cluster.NewCoordinator(pol, tr, reg)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if got := len(c.Nodes()); got > 0 {
+		log.Printf("recovered %d members and %d placements from %s", got, len(c.Placement()), walDir)
+	}
+
+	for _, ms := range members {
+		if c.Node(ms.id) != nil {
+			continue // already in recovered membership
+		}
+		n, err := cluster.NewRemoteNode(ms.id, ms.addr)
+		if err != nil {
+			return err
+		}
+		if err := c.Join(n); err != nil {
+			return err
+		}
+		log.Printf("joined %s at %s", ms.id, ms.addr)
+	}
+
+	// Bootstrap placement: diagnose the device set locally, then push
+	// each device's state to its ring owner over attach RPCs. Skipped
+	// when the (recovered) coordinator already placed devices.
+	if devices > 0 && len(c.Placement()) == 0 {
+		bootCfg := fleet.Config{
+			Shards:  shards,
+			Devices: fleet.PresetDevices(devices, parseCycle(presets), seed),
+		}
+		if fastDiag {
+			bootCfg.Diagnosis = fleet.FastDiagnosis()
+		}
+		log.Printf("diagnosing %d devices for adoption...", devices)
+		boot, err := fleet.New(bootCfg)
+		if err != nil {
+			return err
+		}
+		ids := boot.DeviceIDs()
+		if err := c.AdoptDevices(boot, ids); err != nil {
+			boot.Close()
+			return err
+		}
+		boot.Close()
+		for dev, node := range c.Placement() {
+			log.Printf("  %s -> %s", dev, node)
+		}
+	}
+
+	newMember := func(id, addr string) (*cluster.Node, error) {
+		if addr == "" {
+			return nil, fmt.Errorf("networked join needs ?addr=baseURL")
+		}
+		return cluster.NewRemoteNode(id, addr)
+	}
+	return serve(addr, c, newMember, tickInterval, c.Close)
 }

@@ -12,6 +12,7 @@ import (
 	"ssdcheck/internal/buildinfo"
 	"ssdcheck/internal/cluster"
 	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
 )
 
 // submitRequest is the wire form of one request, identical to the
@@ -68,11 +69,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// newServer wires the cluster harness into the coordinator's HTTP
-// surface. nodeCfg is the fleet template handed to nodes created by
-// the join endpoint, so late joiners match the founding members.
-func newServer(h *cluster.Harness, nodeCfg fleet.Config) http.Handler {
-	c := h.Coordinator()
+// newServer wires a coordinator into the cluster daemon's HTTP
+// surface. newMember builds nodes for the join endpoint — from the
+// founding fleet template in hosted mode, from a base URL in
+// networked mode (addr is the endpoint's ?addr= query, empty when
+// absent).
+func newServer(c *cluster.Coordinator, newMember func(id, addr string) (*cluster.Node, error)) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 
@@ -163,10 +165,13 @@ func newServer(h *cluster.Harness, nodeCfg fleet.Config) http.Handler {
 				break
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": status,
-			"fleet":  n.Manager().Metrics(),
-		})
+		resp := map[string]any{"status": status}
+		if m := n.Manager(); m != nil {
+			resp["fleet"] = m.Metrics()
+		} else {
+			resp["addr"] = n.Addr() // remote member: fleet metrics live in its process
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	nodeAction := func(name string, fn func(id string) error) func(http.ResponseWriter, *http.Request) {
@@ -190,17 +195,21 @@ func newServer(h *cluster.Harness, nodeCfg fleet.Config) http.Handler {
 	mux.HandleFunc("POST /v1/cluster/nodes/{id}/kill", nodeAction("kill", c.Kill))
 	mux.HandleFunc("POST /v1/cluster/nodes/{id}/restore", nodeAction("restore", c.Restore))
 	mux.HandleFunc("POST /v1/cluster/nodes/{id}/drain", nodeAction("drain", c.Leave))
-	mux.HandleFunc("POST /v1/cluster/nodes/{id}/join", nodeAction("join", func(id string) error {
-		n, err := cluster.NewNode(id, nodeCfg)
-		if err != nil {
-			return err
-		}
-		if err := c.Join(n); err != nil {
-			n.Close()
-			return err
-		}
-		return nil
-	}))
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/join", func(w http.ResponseWriter, r *http.Request) {
+		nodeAction("join", func(id string) error {
+			n, err := newMember(id, r.URL.Query().Get("addr"))
+			if err != nil {
+				return err
+			}
+			if err := c.Join(n); err != nil {
+				if n.Manager() != nil {
+					n.Close()
+				}
+				return err
+			}
+			return nil
+		})(w, r)
+	})
 
 	mux.HandleFunc("GET /v1/cluster/placement", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -211,6 +220,46 @@ func newServer(h *cluster.Harness, nodeCfg fleet.Config) http.Handler {
 
 	mux.HandleFunc("GET /v1/cluster/transitions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"transitions": c.Transitions()})
+	})
+
+	mux.HandleFunc("GET /v1/cluster/breakers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"breakers": c.Breakers(),
+			"log":      c.BreakerLog(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		// The merged cross-node view: every hosted member's sampled
+		// traces, stamped with the node that served each request.
+		traces := c.Traces()
+		if dev := r.URL.Query().Get("device"); dev != "" {
+			kept := traces[:0]
+			for _, rt := range traces {
+				if rt.Device == dev {
+					kept = append(kept, rt)
+				}
+			}
+			traces = kept
+		}
+		if node := r.URL.Query().Get("node"); node != "" {
+			kept := traces[:0]
+			for _, rt := range traces {
+				if rt.Node == node {
+					kept = append(kept, rt)
+				}
+			}
+			traces = kept
+		}
+		if traces == nil {
+			traces = []obs.RequestTrace{}
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, traces)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
 	})
 
 	mux.HandleFunc("GET /v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -83,7 +83,7 @@ type nodesResponse struct {
 
 func TestClusterServerEndToEnd(t *testing.T) {
 	h := newTestCluster(t)
-	srv := httptest.NewServer(newServer(h, testNodeConfig()))
+	srv := httptest.NewServer(newServer(h.Coordinator(), func(id, _ string) (*cluster.Node, error) { return cluster.NewNode(id, testNodeConfig()) }))
 	defer srv.Close()
 
 	// Liveness and membership.
@@ -221,7 +221,7 @@ func TestClusterServerEndToEnd(t *testing.T) {
 
 func TestClusterServerJoinDrain(t *testing.T) {
 	h := newTestCluster(t)
-	srv := httptest.NewServer(newServer(h, testNodeConfig()))
+	srv := httptest.NewServer(newServer(h.Coordinator(), func(id, _ string) (*cluster.Node, error) { return cluster.NewNode(id, testNodeConfig()) }))
 	defer srv.Close()
 
 	// A fresh empty node joins and the ring rebalances onto it.

@@ -17,6 +17,7 @@
 //	GET  /v1/version                       build identity, node ID and uptime
 //	GET  /debug/pprof/                     runtime profiling
 //	GET  /healthz                          liveness, degraded-aware
+//	POST /v1/node/{heartbeat,submit,attach,detach}  cluster node RPC plane (idempotency-token protected)
 //
 // Submit failures are per-request: a quarantined or failed device marks
 // only its own entries' "error" field, and the rest of the batch
@@ -97,9 +98,12 @@ func main() {
 }
 
 func run(addr string, devices int, presets string, shards int, seed uint64, queue int, featuresDir string, fastDiag bool, probeInterval time.Duration, traceSample float64, traceBuffer int, modelFloor float64, rediagBudget int, nodeID string) error {
-	if devices <= 0 {
-		return fmt.Errorf("need at least one device (-devices)")
+	if devices < 0 {
+		return fmt.Errorf("-devices %d is negative", devices)
 	}
+	// -devices 0 starts an empty fleet: a cluster member whose devices
+	// arrive over /v1/node/attach from a coordinator's bootstrap
+	// placement or a failover migration.
 	if traceSample < 0 || traceSample > 1 {
 		return fmt.Errorf("-trace-sample %v outside [0,1]", traceSample)
 	}
@@ -128,6 +132,7 @@ func run(addr string, devices int, presets string, shards int, seed uint64, queu
 		QueueDepth: queue,
 		Registry:   reg,
 		Recorder:   obs.Observer{Reg: reg, Tr: tracer},
+		AllowEmpty: devices == 0,
 	}
 	cfg.Health.ProbeInterval = probeInterval
 	cfg.Model.FloorHL = modelFloor

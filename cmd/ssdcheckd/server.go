@@ -11,6 +11,7 @@ import (
 
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/buildinfo"
+	"ssdcheck/internal/cluster"
 	"ssdcheck/internal/fleet"
 	"ssdcheck/internal/obs"
 )
@@ -83,6 +84,15 @@ func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
 	}
 	start := time.Now()
 	mux := http.NewServeMux()
+
+	// The node-to-node RPC plane: a cluster coordinator in another
+	// process drives this daemon's fleet through /v1/node/* — submit
+	// with idempotency tokens, heartbeats, and the attach/detach pair
+	// that migrates device state during networked failover.
+	if node, err := cluster.NewNodeFromManager(nodeID, m, obs.Observer{Reg: m.Registry(), Tr: tr}); err == nil {
+		api := cluster.NewNodeAPI(node, 0)
+		mux.Handle("POST /v1/node/", http.StripPrefix("/v1/node", cluster.NodeAPIHandler(api)))
+	}
 
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, versionResponse{

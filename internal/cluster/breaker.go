@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ssdcheck/internal/obs"
+)
+
+// BreakerState is a node's position in the coordinator's per-node
+// circuit breaker: closed (traffic flows), open (submits fast-fail
+// with ErrBreakerOpen until the cooldown elapses), half-open (one
+// submit rides through as a probe; its outcome closes or re-opens the
+// circuit).
+//
+// The breaker exists so a dead or partitioned node costs the cluster
+// one RPC deadline, not one per request: after BreakerFailures
+// consecutive failed submit RPCs the circuit opens and every further
+// sub-batch addressed to the node is synthesized locally, instantly.
+// The state machine is driven entirely under the coordinator's lock —
+// decisions before the fan-out, outcomes fed back after it in
+// membership order, cooldown measured on the Tick-driven virtual
+// clock — so breaker behavior is deterministic and its transitions
+// share the same seq-stamped log discipline as placement and health.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails submits until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets one submit through as a probe.
+	BreakerHalfOpen
+)
+
+// String names the breaker state for logs and JSON.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", uint8(s))
+	}
+}
+
+// MarshalText renders the state name in JSON.
+func (s BreakerState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name.
+func (s *BreakerState) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "closed":
+		*s = BreakerClosed
+	case "open":
+		*s = BreakerOpen
+	case "half-open":
+		*s = BreakerHalfOpen
+	default:
+		return fmt.Errorf("cluster: unknown breaker state %q", b)
+	}
+	return nil
+}
+
+// BreakerTransition is one edge taken in a node's circuit breaker.
+// Seq is the coordinator's global event sequence, shared with the
+// placement and health logs, so breaker flips are totally ordered
+// against device moves and health edges.
+type BreakerTransition struct {
+	Seq   int64        `json:"seq"`
+	Round int64        `json:"round"`
+	Node  string       `json:"node"`
+	From  BreakerState `json:"from"`
+	To    BreakerState `json:"to"`
+	Cause string       `json:"cause"`
+}
+
+// breakerGaugeLocked refreshes (registering on first use) the node's
+// breaker-state gauge in the cluster registry.
+func (c *Coordinator) breakerGaugeLocked(id string) {
+	g, ok := c.breakerGauges[id]
+	if !ok {
+		g = c.reg.Gauge("ssdcheck_cluster_breaker_state",
+			"Circuit breaker state (0=closed 1=open 2=half-open).",
+			obs.Label{Name: "member", Value: id})
+		c.breakerGauges[id] = g
+	}
+	g.Set(int64(c.members[id].brk))
+}
+
+// breakerTransitionLocked moves a node's breaker and logs the edge
+// under the shared event sequence.
+func (c *Coordinator) breakerTransitionLocked(mb *member, to BreakerState, cause string) {
+	if mb.brk == to {
+		return
+	}
+	c.seq++
+	c.breakerlog = append(c.breakerlog, BreakerTransition{
+		Seq: c.seq, Round: c.round, Node: mb.node.ID(),
+		From: mb.brk, To: to, Cause: cause,
+	})
+	mb.brk = to
+	c.breakerGaugeLocked(mb.node.ID())
+}
+
+// breakerAdmitLocked decides whether a submit sub-batch may go to the
+// node right now. An open breaker whose cooldown has elapsed
+// half-opens and admits this sub-batch as the probe; an open breaker
+// inside the cooldown rejects. Disabled breakers always admit.
+func (c *Coordinator) breakerAdmitLocked(mb *member) bool {
+	if c.pol.BreakerFailures <= 0 {
+		return true
+	}
+	switch mb.brk {
+	case BreakerOpen:
+		if c.now.Sub(mb.brkOpenedAt) >= c.pol.BreakerCooldown {
+			c.breakerTransitionLocked(mb, BreakerHalfOpen, "cooldown elapsed")
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// breakerOutcomeLocked feeds one submit RPC outcome into the node's
+// breaker. Outcomes are applied after the fan-out, under the lock, in
+// membership order, so the transition log is deterministic.
+func (c *Coordinator) breakerOutcomeLocked(mb *member, failed bool) {
+	if c.pol.BreakerFailures <= 0 {
+		return
+	}
+	if failed {
+		mb.brkFails++
+		switch mb.brk {
+		case BreakerClosed:
+			if mb.brkFails >= c.pol.BreakerFailures {
+				c.breakerTransitionLocked(mb, BreakerOpen, "consecutive submit failures")
+				mb.brkOpenedAt = c.now
+			}
+		case BreakerHalfOpen:
+			c.breakerTransitionLocked(mb, BreakerOpen, "probe failed")
+			mb.brkOpenedAt = c.now
+		}
+		return
+	}
+	mb.brkFails = 0
+	if mb.brk == BreakerHalfOpen {
+		c.breakerTransitionLocked(mb, BreakerClosed, "probe succeeded")
+	}
+}
+
+// BreakerLog returns the full breaker-transition log, oldest first.
+func (c *Coordinator) BreakerLog() []BreakerTransition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]BreakerTransition(nil), c.breakerlog...)
+}
+
+// Breakers returns every member's current breaker state in join
+// order.
+func (c *Coordinator) Breakers() map[string]BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]BreakerState, len(c.members))
+	for id, mb := range c.members {
+		out[id] = mb.brk
+	}
+	return out
+}

@@ -56,6 +56,11 @@ var (
 	ErrNoNodes = errors.New("cluster: no nodes in service")
 	// ErrCoordinatorClosed rejects calls after Close.
 	ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
+	// ErrBreakerOpen fast-fails work addressed to a node whose circuit
+	// breaker is open: the node has burned through its failure budget
+	// and the coordinator refuses to pay another timeout until the
+	// cooldown elapses.
+	ErrBreakerOpen = errors.New("cluster: circuit breaker open")
 )
 
 // Policy tunes the coordinator: the heartbeat cadence on the cluster's
@@ -89,6 +94,19 @@ type Policy struct {
 	// defaults to 128.
 	VirtualNodes int
 
+	// BreakerFailures is how many consecutive failed submit RPCs open
+	// a node's circuit breaker (submits then fast-fail with
+	// ErrBreakerOpen instead of burning an RPC deadline each). 0
+	// defaults to 3; negative disables the breaker.
+	BreakerFailures int
+
+	// BreakerCooldown is how long an open breaker stays open on the
+	// cluster's virtual clock — which advances only on Tick, so the
+	// cooldown is effectively measured in heartbeat rounds. After it
+	// elapses the next submit half-opens the breaker and rides as the
+	// probe. 0 defaults to 2×HeartbeatInterval.
+	BreakerCooldown time.Duration
+
 	// Seed drives the placement ring's hash positions. Two clusters
 	// with equal Seed, membership sequence, and device set place
 	// identically.
@@ -114,6 +132,15 @@ func (p Policy) withDefaults() Policy {
 	if p.VirtualNodes == 0 {
 		p.VirtualNodes = 128
 	}
+	if p.BreakerFailures == 0 {
+		p.BreakerFailures = 3
+	}
+	if p.BreakerFailures < 0 {
+		p.BreakerFailures = 0 // disabled
+	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = 2 * p.HeartbeatInterval
+	}
 	return p
 }
 
@@ -124,6 +151,9 @@ func (p Policy) Validate() error {
 	}
 	if p.DegradeAfterMisses < 0 || p.QuarantineAfterMisses < 0 || p.RejoinAfterBeats < 0 || p.VirtualNodes < 0 {
 		return errors.New("cluster: negative policy threshold")
+	}
+	if p.BreakerCooldown < 0 {
+		return errors.New("cluster: negative breaker cooldown")
 	}
 	d, q := p.withDefaults().DegradeAfterMisses, p.withDefaults().QuarantineAfterMisses
 	if q < d {

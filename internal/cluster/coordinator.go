@@ -18,6 +18,13 @@ type member struct {
 	health fleet.Health
 	misses int // consecutive missed heartbeats
 	beats  int // consecutive on-deadline heartbeats
+
+	// Circuit breaker position (see breaker.go): driven under the
+	// coordinator lock by submit RPC outcomes, cooled down on the
+	// Tick-driven virtual clock.
+	brk         BreakerState
+	brkFails    int // consecutive failed submit RPCs
+	brkOpenedAt simclock.Time
 }
 
 // roundAdvancer lets a transport (FaultTransport) advance its seeded
@@ -52,8 +59,17 @@ type Coordinator struct {
 	seq    int64         // shared event sequence for both logs
 	closed bool
 
-	placelog []PlacementEntry
-	translog []NodeTransition
+	placelog   []PlacementEntry
+	translog   []NodeTransition
+	breakerlog []BreakerTransition
+
+	// wal, when non-nil, durably logs every decision that mutates the
+	// deterministic state above; replaying marks recovery, which
+	// re-applies bookkeeping while suppressing physical side effects
+	// (device moves already happened in the previous life) and WAL
+	// re-appends.
+	wal       *WAL
+	replaying bool
 
 	// Cluster-level registry: coordinator gauges live here unlabeled;
 	// the merged exposition injects node labels into per-node series.
@@ -61,7 +77,9 @@ type Coordinator struct {
 	gNodes, gInService, gDevices *obs.Gauge
 	gRound                       *obs.Gauge
 	cMoves                       *obs.Counter
+	cSubmitFails                 *obs.Counter
 	healthGauges                 map[string]*obs.Gauge
+	breakerGauges                map[string]*obs.Gauge
 }
 
 // NewCoordinator builds an empty cluster over the given transport. A
@@ -79,18 +97,20 @@ func NewCoordinator(pol Policy, tr Transport, reg *obs.Registry) (*Coordinator, 
 	}
 	p := pol.withDefaults()
 	return &Coordinator{
-		pol:          p,
-		tr:           tr,
-		ring:         NewRing(p.Seed, p.VirtualNodes),
-		members:      make(map[string]*member),
-		placement:    make(map[string]string),
-		reg:          reg,
-		gNodes:       reg.Gauge("ssdcheck_cluster_nodes", "Known cluster members."),
-		gInService:   reg.Gauge("ssdcheck_cluster_nodes_in_service", "Members currently owning placement arcs."),
-		gDevices:     reg.Gauge("ssdcheck_cluster_devices", "Devices placed across the cluster."),
-		gRound:       reg.Gauge("ssdcheck_cluster_round", "Heartbeat rounds completed."),
-		cMoves:       reg.Counter("ssdcheck_cluster_placement_moves_total", "Device migrations (bootstrap placements excluded)."),
-		healthGauges: make(map[string]*obs.Gauge),
+		pol:           p,
+		tr:            tr,
+		ring:          NewRing(p.Seed, p.VirtualNodes),
+		members:       make(map[string]*member),
+		placement:     make(map[string]string),
+		reg:           reg,
+		gNodes:        reg.Gauge("ssdcheck_cluster_nodes", "Known cluster members."),
+		gInService:    reg.Gauge("ssdcheck_cluster_nodes_in_service", "Members currently owning placement arcs."),
+		gDevices:      reg.Gauge("ssdcheck_cluster_devices", "Devices placed across the cluster."),
+		gRound:        reg.Gauge("ssdcheck_cluster_round", "Heartbeat rounds completed."),
+		cMoves:        reg.Counter("ssdcheck_cluster_placement_moves_total", "Device migrations (bootstrap placements excluded)."),
+		cSubmitFails:  reg.Counter("ssdcheck_cluster_submit_failures_total", "Requests failed cluster-side (unknown device, unreachable node, open breaker)."),
+		healthGauges:  make(map[string]*obs.Gauge),
+		breakerGauges: make(map[string]*obs.Gauge),
 	}, nil
 }
 
@@ -158,17 +178,40 @@ func (c *Coordinator) placeLocked(dev, from, to, cause string) {
 	}
 }
 
-// migrateLocked moves one device's live state between nodes through
-// the fleet's portable-device path. The source may be a stopped node:
-// detaching from its (still running) manager is the shared-enclosure
-// salvage that failover is built on.
+// migrateLocked moves one device's live state between nodes. When
+// both endpoints have local managers it rides the fleet's
+// portable-device path (full fidelity: the predictor's sliding
+// windows move with the device). Otherwise the transport's
+// DeviceMover carries the device's wire state between processes.
+// The source may be a stopped node: detaching from its (still
+// running) manager is the shared-enclosure salvage that failover is
+// built on. During WAL replay only the bookkeeping re-applies — the
+// physical move already happened in the coordinator's previous life.
 func (c *Coordinator) migrateLocked(dev, from, to, cause string) error {
-	pd, err := c.members[from].node.Manager().Detach(dev)
-	if err != nil {
-		return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
-	}
-	if err := c.members[to].node.Manager().Attach(pd); err != nil {
-		return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+	if !c.replaying {
+		fromM := c.members[from].node.Manager()
+		toM := c.members[to].node.Manager()
+		if fromM != nil && toM != nil {
+			pd, err := fromM.Detach(dev)
+			if err != nil {
+				return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
+			}
+			if err := toM.Attach(pd); err != nil {
+				return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+			}
+		} else {
+			mover, ok := c.tr.(DeviceMover)
+			if !ok {
+				return fmt.Errorf("cluster: moving %q from %q to %q: transport cannot move devices between processes", dev, from, to)
+			}
+			st, err := mover.DetachDevice(c.members[from].node, dev)
+			if err != nil {
+				return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
+			}
+			if err := mover.AttachDevice(c.members[to].node, st); err != nil {
+				return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+			}
+		}
 	}
 	c.placeLocked(dev, from, to, cause)
 	return nil
@@ -227,7 +270,11 @@ func (c *Coordinator) Join(n *Node) error {
 	c.order = append(c.order, n.ID())
 	c.ring.Add(n.ID())
 	c.healthGaugeLocked(n.ID()).Set(int64(fleet.Healthy))
-	return c.rebalanceLocked("join")
+	c.breakerGaugeLocked(n.ID())
+	if err := c.rebalanceLocked("join"); err != nil {
+		return err
+	}
+	return c.walAppendLocked(walRecord{Type: "join", Node: n.ID(), Addr: n.Addr()})
 }
 
 // Leave removes a node gracefully: its devices migrate to the owners a
@@ -254,6 +301,7 @@ func (c *Coordinator) Leave(id string) error {
 	}
 	c.reg.DropSeries(obs.Label{Name: "member", Value: id})
 	delete(c.healthGauges, id)
+	delete(c.breakerGauges, id)
 	// Rewrite departures in the log's vocabulary: the moves above were
 	// recorded as failover by evacuateLocked; relabel this batch.
 	for i := len(c.placelog) - 1; i >= 0; i-- {
@@ -263,7 +311,7 @@ func (c *Coordinator) Leave(id string) error {
 			break
 		}
 	}
-	return nil
+	return c.walAppendLocked(walRecord{Type: "leave", Node: id})
 }
 
 // Kill abruptly stops a node — the process dies, the devices' state
@@ -298,7 +346,9 @@ func (c *Coordinator) Restore(id string) error {
 // AdoptDevices performs the initial placement: each device (in the
 // given order, which fixes the log order) is detached from the source
 // manager — typically a bootstrap fleet that just diagnosed everything
-// — and attached to the node the ring names.
+// — and attached to the node the ring names. Local targets receive
+// the live portable handle; remote targets receive the device's wire
+// state over the transport's DeviceMover.
 func (c *Coordinator) AdoptDevices(src *fleet.Manager, ids []string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -310,14 +360,39 @@ func (c *Coordinator) AdoptDevices(src *fleet.Manager, ids []string) error {
 		if !ok {
 			return ErrNoNodes
 		}
+		if !c.replaying {
+			if err := c.adoptOneLocked(src, dev, target); err != nil {
+				return err
+			}
+		}
+		c.placeLocked(dev, "", target, "bootstrap")
+	}
+	return c.walAppendLocked(walRecord{Type: "adopt", Devices: ids})
+}
+
+// adoptOneLocked physically moves one device from the bootstrap
+// manager onto its target node.
+func (c *Coordinator) adoptOneLocked(src *fleet.Manager, dev, target string) error {
+	if m := c.members[target].node.Manager(); m != nil {
 		pd, err := src.Detach(dev)
 		if err != nil {
 			return fmt.Errorf("cluster: adopting %q: %w", dev, err)
 		}
-		if err := c.members[target].node.Manager().Attach(pd); err != nil {
+		if err := m.Attach(pd); err != nil {
 			return fmt.Errorf("cluster: adopting %q: %w", dev, err)
 		}
-		c.placeLocked(dev, "", target, "bootstrap")
+		return nil
+	}
+	mover, ok := c.tr.(DeviceMover)
+	if !ok {
+		return fmt.Errorf("cluster: adopting %q onto remote node %q: transport cannot move devices between processes", dev, target)
+	}
+	st, err := src.ExportDevice(dev)
+	if err != nil {
+		return fmt.Errorf("cluster: adopting %q: %w", dev, err)
+	}
+	if err := mover.AttachDevice(c.members[target].node, st); err != nil {
+		return fmt.Errorf("cluster: adopting %q: %w", dev, err)
 	}
 	return nil
 }
@@ -357,9 +432,11 @@ func (c *Coordinator) Tick() error {
 	}
 	wg.Wait()
 
+	oks := make([]bool, len(ids))
 	for i, id := range ids {
 		mb := c.members[id]
-		if results[i].err == nil && results[i].rtt <= c.pol.HeartbeatDeadline {
+		oks[i] = results[i].err == nil && results[i].rtt <= c.pol.HeartbeatDeadline
+		if oks[i] {
 			if err := c.noteBeatLocked(mb); err != nil {
 				return err
 			}
@@ -367,7 +444,7 @@ func (c *Coordinator) Tick() error {
 			return err
 		}
 	}
-	return nil
+	return c.walAppendLocked(walRecord{Type: "tick", Nodes: ids, OK: oks})
 }
 
 // noteMissLocked feeds one missed heartbeat into a node's state
@@ -432,6 +509,13 @@ func failedResult(dev, node string, err error) Result {
 // devices fail in place; a transport failure (partition, dead node)
 // fails that node's sub-batch without poisoning the rest — the same
 // per-entry failure contract fleet.SubmitBatch has.
+//
+// The per-node circuit breaker wraps the fan-out: sub-batches for
+// members whose breaker is open are synthesized locally with
+// ErrBreakerOpen (no RPC, no deadline burned), admit decisions run
+// under the lock before the fan-out, and RPC outcomes feed back under
+// the lock after it, in membership order — so breaker transitions are
+// deterministic and seq-ordered against placement and health edges.
 func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -444,25 +528,56 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 		return nil, ErrCoordinatorClosed
 	}
 	groups := make(map[string][]int) // node ID → indices, input order
+	var synthesized int64
 	for i, r := range reqs {
 		node, ok := c.placement[r.DeviceID]
 		if !ok {
 			out[i] = failedResult(r.DeviceID, "",
 				fmt.Errorf("device %q: %w", r.DeviceID, fleet.ErrUnknownDevice))
+			synthesized++
 			continue
 		}
 		groups[node] = append(groups[node], i)
 	}
+	// Admit in membership order: fast-fail sub-batches for open
+	// breakers, let everything else (including half-open probes)
+	// through to the fan-out.
+	var admitted []string
 	nodes := make(map[string]*Node, len(groups))
-	for id := range groups {
-		nodes[id] = c.members[id].node
+	preLog := len(c.breakerlog)
+	for _, id := range c.order {
+		idxs, ok := groups[id]
+		if !ok {
+			continue
+		}
+		mb := c.members[id]
+		if !c.breakerAdmitLocked(mb) {
+			err := fmt.Errorf("node %q: %w", id, ErrBreakerOpen)
+			for _, i := range idxs {
+				out[i] = failedResult(reqs[i].DeviceID, id, err)
+			}
+			synthesized += int64(len(idxs))
+			continue
+		}
+		admitted = append(admitted, id)
+		nodes[id] = mb.node
+	}
+	var walErr error
+	if len(c.breakerlog) != preLog {
+		// Admit flipped a breaker (open → half-open): that seq bump must
+		// replay at exactly this position.
+		walErr = c.walAppendLocked(walRecord{Type: "admit", Nodes: admitted})
 	}
 	c.mu.Unlock()
+	if walErr != nil {
+		return nil, walErr
+	}
 
+	failed := make([]bool, len(admitted))
 	var wg sync.WaitGroup
-	wg.Add(len(groups))
-	for id, idxs := range groups {
-		go func(id string, idxs []int) {
+	wg.Add(len(admitted))
+	for j, id := range admitted {
+		go func(j int, id string, idxs []int) {
 			defer wg.Done()
 			sub := make([]fleet.Request, len(idxs))
 			for k, i := range idxs {
@@ -470,6 +585,7 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 			}
 			res, err := c.tr.Submit(nodes[id], sub)
 			if err != nil {
+				failed[j] = true
 				for _, i := range idxs {
 					out[i] = failedResult(reqs[i].DeviceID, id, err)
 				}
@@ -478,9 +594,36 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 			for k, i := range idxs {
 				out[i] = Result{Result: res[k], Node: id}
 			}
-		}(id, idxs)
+		}(j, id, groups[id])
 	}
 	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cSubmitFails.Add(synthesized)
+	if c.closed {
+		return out, nil
+	}
+	preLog = len(c.breakerlog)
+	dirty := false
+	for j, id := range admitted {
+		mb := c.members[id]
+		if mb == nil {
+			continue // left the cluster mid-flight
+		}
+		if failed[j] {
+			dirty = true
+			c.cSubmitFails.Add(int64(len(groups[id])))
+		} else if mb.brkFails > 0 || mb.brk == BreakerHalfOpen {
+			dirty = true // success resets a tracked streak or closes a probe
+		}
+		c.breakerOutcomeLocked(mb, failed[j])
+	}
+	if dirty || len(c.breakerlog) != preLog {
+		if err := c.walAppendLocked(walRecord{Type: "outcome", Nodes: admitted, Failed: failed}); err != nil {
+			return out, err
+		}
+	}
 	return out, nil
 }
 
@@ -544,10 +687,16 @@ func (c *Coordinator) Transitions() []NodeTransition {
 	return append([]NodeTransition(nil), c.translog...)
 }
 
-// Close stops accepting mutating calls. It does not close the nodes —
-// whoever built them (the harness, the daemon) owns their lifecycle.
+// Close stops accepting mutating calls and releases the WAL handle if
+// one is attached. It does not close the nodes — whoever built them
+// (the harness, the daemon) owns their lifecycle.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	c.closed = true
+	w := c.wal
+	c.wal = nil
 	c.mu.Unlock()
+	if w != nil {
+		_ = w.Close()
+	}
 }

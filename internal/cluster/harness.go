@@ -29,10 +29,29 @@ type HarnessConfig struct {
 	// defaults.
 	Policy Policy
 
-	// Faults, when non-nil, interposes a seeded node-fault plan
-	// (heartbeat loss, partitions, slow nodes) on the in-process
-	// transport.
+	// Faults, when non-nil, interposes a seeded node-fault plan on the
+	// transport: heartbeat loss, partitions, slow nodes — and, with RPC
+	// set, the RPC-layer kinds (drop, duplicate, delay, timeout).
 	Faults *faults.NodePlan
+
+	// RPC, when non-nil, routes coordinator traffic through the
+	// in-memory loopback transport — the NodeAPI path with idempotency
+	// tokens, per-attempt deadlines, and bounded retries — instead of
+	// the direct in-process call. Required for the RPC-layer fault
+	// kinds; the zero RPCPolicy value takes the defaults.
+	RPC *RPCPolicy
+
+	// WALDir, when non-empty, makes the coordinator durable: every
+	// decision is logged there, and RecoverCoordinator (or the
+	// harness's Recover) resumes from it after a crash.
+	WALDir string
+
+	// TraceSample, when > 0, gives every node a deterministic request
+	// tracer sampling that fraction, feeding the coordinator's merged
+	// Traces view. TraceBuffer bounds the per-device rings (<= 0 takes
+	// the tracer default).
+	TraceSample float64
+	TraceBuffer int
 }
 
 // Harness is a deterministic in-process cluster: goroutine-hosted
@@ -41,9 +60,40 @@ type HarnessConfig struct {
 // the same config produce byte-identical placement and transition
 // logs, at any GOMAXPROCS.
 type Harness struct {
+	cfg   HarnessConfig
 	coord *Coordinator
 	nodes []*Node
 	nf    *faults.NodeFaults
+	lb    *LoopbackTransport
+}
+
+// buildTransport stands up the configured transport and the
+// coordinator's registry.
+func buildTransport(cfg HarnessConfig, reg *obs.Registry) (Transport, *faults.NodeFaults, *LoopbackTransport, error) {
+	if cfg.RPC != nil {
+		lb, err := NewLoopbackTransport(*cfg.RPC, cfg.Faults, cfg.Policy.Seed, reg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return lb, lb.Faults(), lb, nil
+	}
+	if cfg.Faults != nil {
+		ft, err := NewFaultTransport(*cfg.Faults)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ft, ft.Faults, nil, nil
+	}
+	return DirectTransport{}, nil, nil, nil
+}
+
+// resolver maps recovered member IDs back to the harness's live node
+// handles.
+func (h *Harness) resolver(id, addr string) (*Node, error) {
+	if n := h.Node(id); n != nil {
+		return n, nil
+	}
+	return RemoteResolver(id, addr)
 }
 
 // NewHarness stands the cluster up: build the nodes, join them (fixing
@@ -62,27 +112,35 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		return nil, fmt.Errorf("cluster: harness with no devices")
 	}
 
-	var tr Transport = DirectTransport{}
-	var nf *faults.NodeFaults
-	if cfg.Faults != nil {
-		ft, err := NewFaultTransport(*cfg.Faults)
-		if err != nil {
-			return nil, err
-		}
-		tr, nf = ft, ft.Faults
-	}
-
-	coord, err := NewCoordinator(cfg.Policy, tr, nil)
+	reg := obs.NewRegistry()
+	tr, nf, lb, err := buildTransport(cfg, reg)
 	if err != nil {
 		return nil, err
 	}
 
-	h := &Harness{coord: coord, nf: nf}
+	var coord *Coordinator
+	if cfg.WALDir != "" {
+		// Fresh directory: the coordinator logs from its first decision.
+		coord, err = RecoverCoordinator(cfg.Policy, tr, reg, cfg.WALDir, nil)
+	} else {
+		coord, err = NewCoordinator(cfg.Policy, tr, reg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Harness{cfg: cfg, coord: coord, nf: nf, lb: lb}
 	nodeCfg := cfg.Node
 	nodeCfg.Devices = nil
-	nodeCfg.Registry = nil
 	for i := 0; i < cfg.Nodes; i++ {
 		nodeCfg.Registry = obs.NewRegistry()
+		nodeCfg.Recorder = nil
+		if cfg.TraceSample > 0 {
+			nodeCfg.Recorder = obs.Observer{
+				Reg: nodeCfg.Registry,
+				Tr:  obs.NewTracer(cfg.Policy.Seed+uint64(i), cfg.TraceSample, cfg.TraceBuffer),
+			}
+		}
 		n, err := NewNode(fmt.Sprintf("node-%d", i), nodeCfg)
 		if err != nil {
 			h.Close()
@@ -137,6 +195,45 @@ func (h *Harness) Nodes() []*Node { return append([]*Node(nil), h.nodes...) }
 // Faults returns the transport's fault evaluator, or nil when the
 // harness runs fault-free.
 func (h *Harness) Faults() *faults.NodeFaults { return h.nf }
+
+// Loopback returns the in-memory RPC transport, or nil when the
+// harness runs on the direct in-process path.
+func (h *Harness) Loopback() *LoopbackTransport { return h.lb }
+
+// CrashCoordinator kills the control plane mid-flight: the
+// coordinator (and its WAL handle) closes abruptly, the nodes — the
+// device state plane — keep running, exactly as when a real
+// coordinator process dies. Requires a WAL-backed harness; recover
+// with Recover.
+func (h *Harness) CrashCoordinator() error {
+	if h.cfg.WALDir == "" {
+		return fmt.Errorf("cluster: harness has no WAL to recover from")
+	}
+	h.coord.Close()
+	return nil
+}
+
+// Recover replays the WAL into a fresh coordinator over a fresh
+// transport and resumes: same seq counter, same logs, same member
+// state machines; the transport's fault plan fast-forwards in
+// lockstep with the replayed rounds. The live node handles are
+// resolved back into membership by ID.
+func (h *Harness) Recover() error {
+	if h.cfg.WALDir == "" {
+		return fmt.Errorf("cluster: harness has no WAL to recover from")
+	}
+	reg := obs.NewRegistry()
+	tr, nf, lb, err := buildTransport(h.cfg, reg)
+	if err != nil {
+		return err
+	}
+	coord, err := RecoverCoordinator(h.cfg.Policy, tr, reg, h.cfg.WALDir, h.resolver)
+	if err != nil {
+		return err
+	}
+	h.coord, h.nf, h.lb = coord, nf, lb
+	return nil
+}
 
 // Close shuts the coordinator and every node down.
 func (h *Harness) Close() {

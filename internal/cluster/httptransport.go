@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+	"ssdcheck/internal/simclock"
+)
+
+// HTTPTransport carries coordinator traffic to real ssdcheckd
+// processes over their /v1/node/* API: per-attempt wall-clock
+// deadlines, bounded retries with exponential backoff and seeded
+// jitter, and idempotency tokens allocated once per logical operation
+// so a retry after a lost response dedupes node-side instead of
+// double-executing.
+//
+// Error discipline mirrors the loopback transport: timeouts and
+// transient network errors retry until the budget runs out;
+// authoritative answers — connection refused (no process), HTTP 503
+// (node stopped), 4xx (addressing mistakes) — fail immediately.
+// Nodes without an address (in-process members, e.g. a bootstrap
+// fleet mixed into a remote cluster) are served directly.
+type HTTPTransport struct {
+	pol    RPCPolicy
+	client *http.Client
+	met    *rpcMetrics
+	seed   uint64
+	nonce  uint64 // incarnation marker baked into every token
+
+	mu    sync.Mutex
+	nodes map[string]*httpNode
+}
+
+// httpNode is one remote node's transport-side state: the token
+// counter and the retry-jitter RNG stream.
+type httpNode struct {
+	mu     sync.Mutex
+	rng    *simclock.RNG
+	tokens int64
+}
+
+// NewHTTPTransport builds the networked transport. seed derives the
+// per-node retry-jitter streams; reg receives the RPC metrics (nil
+// for a private registry). The underlying http.Client is shared and
+// keep-alive-pooled; per-attempt deadlines come from the policy, via
+// request contexts.
+func NewHTTPTransport(pol RPCPolicy, seed uint64, reg *obs.Registry) *HTTPTransport {
+	return &HTTPTransport{
+		pol:    pol.WithDefaults(),
+		client: &http.Client{},
+		met:    newRPCMetrics(reg),
+		seed:   seed,
+		nonce:  uint64(time.Now().UnixNano()),
+		nodes:  make(map[string]*httpNode),
+	}
+}
+
+// node returns (creating on first use) the per-node transport state.
+func (t *HTTPTransport) node(id string) *httpNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hn, ok := t.nodes[id]
+	if !ok {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(id); i++ {
+			h = (h ^ uint64(id[i])) * 1099511628211
+		}
+		hn = &httpNode{rng: simclock.NewRNG(t.seed ^ h ^ 0x68747470)} // "http"
+		t.nodes[id] = hn
+	}
+	return hn
+}
+
+// token allocates the next idempotency token for a node. One token
+// per logical operation, reused across its retry attempts. The
+// transport's incarnation nonce keeps a restarted coordinator's
+// counter (which restarts at 1) from colliding with its previous
+// life's tokens in the node's dedupe cache and replaying stale
+// responses.
+func (t *HTTPTransport) token(id string) string {
+	hn := t.node(id)
+	hn.mu.Lock()
+	defer hn.mu.Unlock()
+	hn.tokens++
+	return fmt.Sprintf("%s-%x-%d", id, t.nonce, hn.tokens)
+}
+
+// rpcError is one attempt's classified failure.
+type rpcError struct {
+	err      error
+	timeout  bool // burned the deadline
+	retrying bool // worth another attempt
+}
+
+func (e *rpcError) Error() string { return e.err.Error() }
+func (e *rpcError) Unwrap() error { return e.err }
+
+// classify sorts a transport-level error into retryable/authoritative.
+func classify(node string, err error) *rpcError {
+	var ne net.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.As(err, &ne) && ne.Timeout():
+		return &rpcError{
+			err:     fmt.Errorf("node %q: rpc deadline: %w", node, ErrNodeUnreachable),
+			timeout: true, retrying: true,
+		}
+	case errors.Is(err, syscall.ECONNREFUSED):
+		// An answer, not a void: no process listens there.
+		return &rpcError{err: fmt.Errorf("node %q: connection refused: %w", node, ErrNodeDown)}
+	default:
+		return &rpcError{
+			err:      fmt.Errorf("node %q: %v: %w", node, err, ErrNodeUnreachable),
+			retrying: true,
+		}
+	}
+}
+
+// post runs one HTTP POST attempt under the policy deadline and
+// decodes the response into out (when non-nil). Non-2xx statuses
+// become classified errors: 503 is an authoritative down-node answer,
+// 4xx are addressing mistakes, anything else is retryable.
+func (t *HTTPTransport) post(node, url string, body, out any) *rpcError {
+	ctx, cancel := context.WithTimeout(context.Background(), t.pol.Deadline)
+	defer cancel()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return &rpcError{err: fmt.Errorf("node %q: encoding request: %w", node, err)}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return &rpcError{err: fmt.Errorf("node %q: building request: %w", node, err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return classify(node, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var eresp nodeErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&eresp)
+		msg := eresp.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			return &rpcError{err: fmt.Errorf("node %q: %s: %w", node, msg, ErrNodeDown)}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return &rpcError{err: fmt.Errorf("node %q: %s", node, msg)}
+		default:
+			return &rpcError{
+				err:      fmt.Errorf("node %q: %s: %w", node, msg, ErrNodeUnreachable),
+				retrying: true,
+			}
+		}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return classify(node, fmt.Errorf("decoding response: %w", err))
+		}
+	}
+	return nil
+}
+
+// call runs a node RPC to completion: bounded retries around post,
+// with per-attempt latency, retry, and timeout accounting.
+func (t *HTTPTransport) call(n *Node, path string, body, out any) error {
+	hn := t.node(n.ID())
+	url := n.Addr() + path
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		rerr := t.post(n.ID(), url, body, out)
+		t.met.Observe(n.ID(), time.Since(start))
+		if rerr == nil {
+			return nil
+		}
+		if rerr.timeout {
+			t.met.Timeout(n.ID())
+		}
+		if !rerr.retrying || attempt >= t.pol.Retry.MaxRetries {
+			return rerr.err
+		}
+		t.met.Retry(n.ID())
+		hn.mu.Lock()
+		d := t.pol.Retry.Delay(attempt, hn.rng)
+		hn.mu.Unlock()
+		time.Sleep(d)
+	}
+}
+
+// Heartbeat implements Transport. Heartbeats are never retried: a
+// lost probe is exactly the signal the health machine consumes. The
+// RTT is the measured wall time of the single attempt.
+func (t *HTTPTransport) Heartbeat(n *Node) (time.Duration, error) {
+	if n.Addr() == "" {
+		return DirectTransport{}.Heartbeat(n)
+	}
+	start := time.Now()
+	if rerr := t.post(n.ID(), n.Addr()+"/v1/node/heartbeat", struct{}{}, nil); rerr != nil {
+		return 0, rerr.err
+	}
+	return time.Since(start), nil
+}
+
+// Submit implements Transport: one idempotency token per batch,
+// retried under the policy; a retry after a lost response replays the
+// original results out of the node's dedupe cache.
+func (t *HTTPTransport) Submit(n *Node, reqs []fleet.Request) ([]fleet.Result, error) {
+	if n.Addr() == "" {
+		return DirectTransport{}.Submit(n, reqs)
+	}
+	body := nodeSubmitBody{Token: t.token(n.ID()), Requests: toWire(reqs)}
+	var resp nodeSubmitResponse
+	if err := t.call(n, "/v1/node/submit", body, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, fmt.Errorf("node %q: %d results for %d requests: %w",
+			n.ID(), len(resp.Results), len(reqs), ErrNodeUnreachable)
+	}
+	// Err rides the wire as a bare message; rebuild it so cluster
+	// Results keep the local contract (Err non-nil on failure).
+	for i := range resp.Results {
+		if resp.Results[i].Error != "" && resp.Results[i].Err == nil {
+			resp.Results[i].Err = errors.New(resp.Results[i].Error)
+		}
+	}
+	return resp.Results, nil
+}
+
+// DetachDevice implements DeviceMover over POST /v1/node/detach.
+func (t *HTTPTransport) DetachDevice(n *Node, device string) (*fleet.DeviceState, error) {
+	if m := n.Manager(); m != nil {
+		return m.ExportDevice(device)
+	}
+	body := nodeDetachBody{Token: t.token(n.ID()), Device: device}
+	var resp nodeDetachResponse
+	if err := t.call(n, "/v1/node/detach", body, &resp); err != nil {
+		return nil, err
+	}
+	if resp.State == nil {
+		return nil, fmt.Errorf("node %q: detach of %q returned no state", n.ID(), device)
+	}
+	return resp.State, nil
+}
+
+// AttachDevice implements DeviceMover over POST /v1/node/attach.
+func (t *HTTPTransport) AttachDevice(n *Node, st *fleet.DeviceState) error {
+	if m := n.Manager(); m != nil {
+		return m.ImportDevice(st)
+	}
+	body := nodeAttachBody{Token: t.token(n.ID()), State: st}
+	return t.call(n, "/v1/node/attach", body, nil)
+}
+
+var _ Transport = (*HTTPTransport)(nil)
+var _ DeviceMover = (*HTTPTransport)(nil)

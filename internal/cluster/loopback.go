@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ssdcheck/internal/faults"
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+	"ssdcheck/internal/simclock"
+)
+
+// LoopbackTransport is the in-memory network: it drives each node
+// through the same NodeAPI (idempotency tokens, dedupe, device-state
+// transfer) that real ssdcheckd processes serve over HTTP, with RPC
+// deadlines, bounded retries, and a seeded node-fault plan injecting
+// drop/duplicate/delay/timeout at the RPC layer — all on virtual
+// time, so the whole retry/breaker/recovery stack is exercised
+// hermetically and deterministically.
+//
+// Time accounting: a successful attempt costs the in-process RTT plus
+// any RPCDelay; a lost request or lost response costs exactly one RPC
+// deadline. Costs accumulate per node (see Stats) so tests and the
+// partition experiment can compare submit latency with and without
+// the circuit breaker.
+//
+// Determinism: per-node RNG streams (retry jitter) and per-node token
+// counters mean concurrent fan-out goroutines never share mutable
+// state; fault predicates are a pure function of (seed, round), with
+// rounds advanced under the coordinator's lock.
+type LoopbackTransport struct {
+	pol  RPCPolicy
+	nf   *faults.NodeFaults // may be nil
+	met  *rpcMetrics
+	seed uint64
+
+	mu    sync.Mutex
+	nodes map[string]*lbNode
+}
+
+// lbNode is one node's transport-side state, guarded by its own lock
+// so fan-out goroutines serialize per node, not globally.
+type lbNode struct {
+	mu     sync.Mutex
+	api    *NodeAPI
+	rng    *simclock.RNG
+	tokens int64
+	stats  RPCStats
+}
+
+// RPCStats is one node's transport accounting.
+type RPCStats struct {
+	// Attempts counts submit RPC attempts (including retries).
+	Attempts int64 `json:"attempts"`
+	// Retries counts attempts beyond each operation's first.
+	Retries int64 `json:"retries"`
+	// Timeouts counts attempts that burned the full RPC deadline.
+	Timeouts int64 `json:"timeouts"`
+	// Cost is the accumulated virtual time spent on submit RPCs,
+	// including backoff between retries.
+	Cost time.Duration `json:"cost_ns"`
+	// MaxSubmit is the costliest single submit operation (all its
+	// attempts plus backoff) — the transport's contribution to tail
+	// latency.
+	MaxSubmit time.Duration `json:"max_submit_ns"`
+}
+
+// NewLoopbackTransport builds the in-memory network. plan, when
+// non-nil, injects node and RPC faults; seed derives the per-node
+// retry-jitter streams; reg receives the RPC metrics (nil for a
+// private registry).
+func NewLoopbackTransport(pol RPCPolicy, plan *faults.NodePlan, seed uint64, reg *obs.Registry) (*LoopbackTransport, error) {
+	var nf *faults.NodeFaults
+	if plan != nil {
+		var err error
+		nf, err = faults.NewNodeFaults(*plan)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &LoopbackTransport{
+		pol:   pol.WithDefaults(),
+		nf:    nf,
+		met:   newRPCMetrics(reg),
+		seed:  seed,
+		nodes: make(map[string]*lbNode),
+	}, nil
+}
+
+// Faults returns the transport's fault evaluator, or nil.
+func (t *LoopbackTransport) Faults() *faults.NodeFaults { return t.nf }
+
+// BeginRound advances the fault plan one heartbeat round; the
+// coordinator calls it under its lock at the top of every Tick.
+func (t *LoopbackTransport) BeginRound() {
+	if t.nf != nil {
+		t.nf.BeginRound()
+	}
+}
+
+// Stats returns a node's transport accounting.
+func (t *LoopbackTransport) Stats(node string) RPCStats {
+	t.mu.Lock()
+	ln := t.nodes[node]
+	t.mu.Unlock()
+	if ln == nil {
+		return RPCStats{}
+	}
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.stats
+}
+
+// node returns (creating on first use) the per-node transport state.
+func (t *LoopbackTransport) node(n *Node) *lbNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ln, ok := t.nodes[n.ID()]
+	if !ok {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(n.ID()); i++ {
+			h = (h ^ uint64(n.ID()[i])) * 1099511628211
+		}
+		ln = &lbNode{
+			api: NewNodeAPI(n, 0),
+			rng: simclock.NewRNG(t.seed ^ h ^ 0x6c6f6f70), // "loop"
+		}
+		t.nodes[n.ID()] = ln
+	}
+	return ln
+}
+
+// Heartbeat implements Transport: heartbeat-loss and partition
+// windows eat the probe, slow-node windows inflate the RTT. No
+// retries — a lost heartbeat is what the health machine listens for.
+func (t *LoopbackTransport) Heartbeat(n *Node) (time.Duration, error) {
+	if t.nf != nil && t.nf.DropHeartbeat(n.ID()) {
+		return 0, fmt.Errorf("node %q: heartbeat lost: %w", n.ID(), ErrNodeUnreachable)
+	}
+	ln := t.node(n)
+	ln.mu.Lock()
+	_, err := ln.api.Heartbeat()
+	ln.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	rtt := directRTT
+	if t.nf != nil {
+		rtt += t.nf.Delay(n.ID())
+	}
+	return rtt, nil
+}
+
+// Submit implements Transport: one idempotency token per logical
+// operation, bounded retries with the policy's backoff and jitter,
+// exactly-once execution through the node API's dedupe.
+func (t *LoopbackTransport) Submit(n *Node, reqs []fleet.Request) ([]fleet.Result, error) {
+	ln := t.node(n)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+
+	ln.tokens++
+	token := fmt.Sprintf("%s-%d", n.ID(), ln.tokens)
+	var opCost time.Duration
+	finish := func(res []fleet.Result, err error) ([]fleet.Result, error) {
+		ln.stats.Cost += opCost
+		if opCost > ln.stats.MaxSubmit {
+			ln.stats.MaxSubmit = opCost
+		}
+		return res, err
+	}
+	for attempt := 0; ; attempt++ {
+		res, cost, timedOut, err := t.attempt(ln, n, token, reqs)
+		ln.stats.Attempts++
+		opCost += cost
+		t.met.Observe(n.ID(), cost)
+		if timedOut {
+			ln.stats.Timeouts++
+			t.met.Timeout(n.ID())
+		}
+		if err == nil {
+			return finish(res, nil)
+		}
+		if !timedOut || attempt >= t.pol.Retry.MaxRetries {
+			// Non-timeout errors (the node answered: it is down) are
+			// authoritative; timeouts retry until the budget runs out.
+			return finish(nil, err)
+		}
+		ln.stats.Retries++
+		t.met.Retry(n.ID())
+		opCost += t.pol.Retry.Delay(attempt, ln.rng)
+	}
+}
+
+// attempt runs one submit RPC attempt. timedOut marks attempts that
+// burned the full deadline and are worth retrying; err is always set
+// when timedOut is.
+func (t *LoopbackTransport) attempt(ln *lbNode, n *Node, token string, reqs []fleet.Request) (res []fleet.Result, cost time.Duration, timedOut bool, err error) {
+	id := n.ID()
+	if t.nf != nil {
+		if t.nf.Partitioned(id) {
+			return nil, t.pol.Deadline, true,
+				fmt.Errorf("node %q: %w", id, ErrNodeUnreachable)
+		}
+		if t.nf.RPCDropped(id) {
+			return nil, t.pol.Deadline, true,
+				fmt.Errorf("node %q: request lost: %w", id, ErrNodeUnreachable)
+		}
+	}
+
+	// Deliver — twice under an RPCDuplicate window; the node API's
+	// token dedupe collapses the pair to one execution.
+	res, err = ln.api.Submit(token, reqs)
+	if t.nf != nil && t.nf.RPCDuplicated(id) {
+		res, err = ln.api.Submit(token, reqs)
+	}
+	if err != nil {
+		return nil, directRTT, false, err
+	}
+
+	cost = directRTT
+	if t.nf != nil {
+		cost += t.nf.RPCDelayed(id)
+		if t.nf.RPCTimedOut(id) || cost > t.pol.Deadline {
+			// The node executed the batch but the response is lost (or
+			// too late to count). The retry re-sends the same token and
+			// the dedupe replays the original results — exactly-once.
+			return nil, t.pol.Deadline, true,
+				fmt.Errorf("node %q: response lost: %w", id, ErrNodeUnreachable)
+		}
+	}
+	return res, cost, false, nil
+}

@@ -66,10 +66,25 @@ func (c *Coordinator) Metrics() Metrics {
 	}
 	for _, id := range c.order {
 		mb := c.members[id]
-		fm := mb.node.Manager().Metrics()
+		m := mb.node.Manager()
+		if m == nil {
+			// Remote member: its fleet lives in another process and
+			// renders through that process's own /metrics.
+			if c.ring.Has(id) {
+				out.InService++
+			}
+			out.PerNode = append(out.PerNode, NodeMetrics{
+				Node:    id,
+				Health:  mb.health,
+				InRing:  c.ring.Has(id),
+				Devices: devCount[id],
+			})
+			continue
+		}
+		fm := m.Metrics()
 		agg = agg.Add(fm.Counters)
 		acc = acc.Add(fm.AccuracyCounters)
-		lat.Merge(mb.node.Manager().LatencyDigest())
+		lat.Merge(m.LatencyDigest())
 		out.UnhealthyDevices += fm.UnhealthyDevices
 		out.FallbackModels += fm.FallbackModels
 		if c.ring.Has(id) {
@@ -108,7 +123,11 @@ func (c *Coordinator) WritePrometheus(w io.Writer) error {
 	sources = append(sources, obs.RegistrySource{Name: "", Reg: c.reg})
 	for _, id := range c.order {
 		mb := c.members[id]
-		mb.node.Manager().Metrics() // refresh fleet-level gauges
+		m := mb.node.Manager()
+		if m == nil || mb.node.Registry() == nil {
+			continue // remote member: scraped from its own process
+		}
+		m.Metrics() // refresh fleet-level gauges
 		sources = append(sources, obs.RegistrySource{Name: id, Reg: mb.node.Registry()})
 	}
 	c.mu.Unlock()

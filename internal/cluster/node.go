@@ -20,8 +20,10 @@ import (
 // coordinator reaches around a stopped node's front door (Detach on
 // its manager) to salvage devices during failover.
 type Node struct {
-	id  string
-	reg *obs.Registry
+	id   string
+	addr string // base URL for remote nodes ("http://host:port"); "" in-process
+	reg  *obs.Registry
+	rec  obs.Recorder // the fleet's recorder; tracer discovery for merged traces
 
 	mu      sync.RWMutex
 	m       *fleet.Manager
@@ -45,7 +47,54 @@ func NewNode(id string, cfg fleet.Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %q: %w", id, err)
 	}
-	return &Node{id: id, reg: cfg.Registry, m: m}, nil
+	return &Node{id: id, reg: cfg.Registry, rec: cfg.Recorder, m: m}, nil
+}
+
+// NewNodeFromManager wraps an existing fleet manager as a cluster
+// member — the ssdcheckd daemon uses it to put its already-running
+// fleet behind the node API. The manager's lifecycle stays with the
+// caller. rec is the manager's recorder (nil is fine); passing it
+// lets the cluster's merged trace view find the node's tracer.
+func NewNodeFromManager(id string, m *fleet.Manager, rec obs.Recorder) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: node with empty ID")
+	}
+	if m == nil {
+		return nil, fmt.Errorf("cluster: node %q: nil manager", id)
+	}
+	return &Node{id: id, reg: m.Registry(), rec: rec, m: m}, nil
+}
+
+// NewRemoteNode names a cluster member living in another process,
+// reachable at the given base URL (e.g. "http://127.0.0.1:8801").
+// A remote node has no local manager: the coordinator talks to it
+// only through a network transport, and device migration runs over
+// the transport's DeviceMover surface instead of the in-process
+// Detach/Attach path.
+func NewRemoteNode(id, addr string) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: node with empty ID")
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: remote node %q with empty address", id)
+	}
+	return &Node{id: id, addr: addr}, nil
+}
+
+// Addr returns the node's base URL, or "" for in-process nodes.
+func (n *Node) Addr() string { return n.addr }
+
+// Tracer returns the span tracer behind the node's recorder, or nil
+// when the node records no traces (no recorder, a bare registry
+// recorder, or a remote node).
+func (n *Node) Tracer() *obs.Tracer {
+	switch r := n.rec.(type) {
+	case *obs.Tracer:
+		return r
+	case obs.Observer:
+		return r.Tr
+	}
+	return nil
 }
 
 // ID returns the node's cluster-unique identifier.

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"ssdcheck/internal/fleet"
+)
+
+// NodeAPI is the node-side RPC surface: heartbeat, submit, and the
+// device-state transfer pair (attach/detach) that networked failover
+// migrates devices through. Every mutating operation carries an
+// idempotency token; the API remembers the outcome of the last
+// tokenCap tokens and replays it on a duplicate, so a coordinator
+// retrying after a lost response — or a network that delivers a
+// request twice — applies each logical operation exactly once.
+//
+// The same NodeAPI backs both deployment shapes: the ssdcheckd daemon
+// mounts it under /v1/node/* (via NodeAPIHandler), and the in-memory
+// loopback transport calls it directly, so the dedupe path the chaos
+// tests exercise hermetically is byte-for-byte the one real processes
+// run.
+type NodeAPI struct {
+	n *Node
+
+	mu    sync.Mutex
+	seen  map[string]apiOutcome
+	order []string // token FIFO for bounded eviction
+	cap   int
+}
+
+// apiOutcome is one remembered operation result.
+type apiOutcome struct {
+	results []fleet.Result
+	state   *fleet.DeviceState
+	err     error
+}
+
+// NewNodeAPI wraps a node. tokenCap bounds the dedupe memory; <= 0
+// defaults to 1024 tokens.
+func NewNodeAPI(n *Node, tokenCap int) *NodeAPI {
+	if tokenCap <= 0 {
+		tokenCap = 1024
+	}
+	return &NodeAPI{n: n, seen: make(map[string]apiOutcome), cap: tokenCap}
+}
+
+// Node returns the wrapped member.
+func (a *NodeAPI) Node() *Node { return a.n }
+
+// replay returns the remembered outcome for a token, if any.
+func (a *NodeAPI) replay(token string) (apiOutcome, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out, ok := a.seen[token]
+	return out, ok
+}
+
+// remember stores a token's outcome, evicting the oldest past cap.
+func (a *NodeAPI) remember(token string, out apiOutcome) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.seen[token]; dup {
+		return
+	}
+	a.seen[token] = out
+	a.order = append(a.order, token)
+	if len(a.order) > a.cap {
+		delete(a.seen, a.order[0])
+		a.order = a.order[1:]
+	}
+}
+
+// Heartbeat answers a liveness probe with the node's device count.
+// Heartbeats are idempotent by nature and carry no token.
+func (a *NodeAPI) Heartbeat() (int, error) {
+	return a.n.Heartbeat()
+}
+
+// Submit serves a batch, exactly once per token: a duplicate token
+// replays the original results without touching the devices.
+func (a *NodeAPI) Submit(token string, reqs []fleet.Request) ([]fleet.Result, error) {
+	if token == "" {
+		return nil, fmt.Errorf("node %q: submit without idempotency token", a.n.ID())
+	}
+	if out, ok := a.replay(token); ok {
+		return out.results, out.err
+	}
+	res, err := a.n.Submit(reqs)
+	// A stopped node is not a committed outcome — the operation never
+	// executed, so a retry after Resume must be allowed to run.
+	if err == nil {
+		a.remember(token, apiOutcome{results: res})
+	}
+	return res, err
+}
+
+// Attach imports a device's wire state into the node's fleet, exactly
+// once per token: a retried attach after a lost response replays the
+// original success instead of failing on the duplicate device ID.
+func (a *NodeAPI) Attach(token string, st *fleet.DeviceState) error {
+	if token == "" {
+		return fmt.Errorf("node %q: attach without idempotency token", a.n.ID())
+	}
+	if out, ok := a.replay(token); ok {
+		return out.err
+	}
+	m := a.n.Manager()
+	if m == nil {
+		return fmt.Errorf("node %q: no local manager", a.n.ID())
+	}
+	err := m.ImportDevice(st)
+	a.remember(token, apiOutcome{err: err})
+	return err
+}
+
+// Detach exports a device's wire state out of the node's fleet,
+// exactly once per token: a retried detach after a lost response
+// replays the original state instead of failing on the now-missing
+// device. Detach works on a stopped node — salvaging devices off a
+// dead member is what failover is.
+func (a *NodeAPI) Detach(token, device string) (*fleet.DeviceState, error) {
+	if token == "" {
+		return nil, fmt.Errorf("node %q: detach without idempotency token", a.n.ID())
+	}
+	if out, ok := a.replay(token); ok {
+		return out.state, out.err
+	}
+	m := a.n.Manager()
+	if m == nil {
+		return nil, fmt.Errorf("node %q: no local manager", a.n.ID())
+	}
+	st, err := m.ExportDevice(device)
+	a.remember(token, apiOutcome{state: st, err: err})
+	return st, err
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/fleet"
+)
+
+// Wire forms for the node API. fleet.Request hides its Op from JSON
+// (the public daemon API parses op names); the node-to-node RPC plane
+// carries the numeric op instead — it is machine-to-machine and must
+// round-trip exactly.
+
+type wireRequest struct {
+	Device  string      `json:"device"`
+	Op      blockdev.Op `json:"op"`
+	LBA     int64       `json:"lba"`
+	Sectors int         `json:"sectors"`
+}
+
+type nodeSubmitBody struct {
+	Token    string        `json:"token"`
+	Requests []wireRequest `json:"requests"`
+}
+
+type nodeSubmitResponse struct {
+	Node    string         `json:"node"`
+	Results []fleet.Result `json:"results"`
+}
+
+type nodeHeartbeatResponse struct {
+	Node    string `json:"node"`
+	Devices int    `json:"devices"`
+}
+
+type nodeAttachBody struct {
+	Token string             `json:"token"`
+	State *fleet.DeviceState `json:"state"`
+}
+
+type nodeDetachBody struct {
+	Token  string `json:"token"`
+	Device string `json:"device"`
+}
+
+type nodeDetachResponse struct {
+	Node  string             `json:"node"`
+	State *fleet.DeviceState `json:"state"`
+}
+
+type nodeErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func toWire(reqs []fleet.Request) []wireRequest {
+	out := make([]wireRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = wireRequest{Device: r.DeviceID, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+	}
+	return out
+}
+
+func fromWire(reqs []wireRequest) []fleet.Request {
+	out := make([]fleet.Request, len(reqs))
+	for i, r := range reqs {
+		out[i] = fleet.Request{DeviceID: r.Device, Op: r.Op, LBA: r.LBA, Sectors: r.Sectors}
+	}
+	return out
+}
+
+// nodeAPIStatus maps node API errors onto HTTP statuses the transport
+// distinguishes: 503 for a down node (retryable reachability), 404
+// and 409 for addressing mistakes (not retryable), 500 otherwise.
+func nodeAPIStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNodeDown), errors.Is(err, fleet.ErrManagerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, fleet.ErrUnknownDevice):
+		return http.StatusNotFound
+	case strings.Contains(err.Error(), "duplicate device"):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func nodeAPIJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func nodeAPIError(w http.ResponseWriter, status int, err error) {
+	nodeAPIJSON(w, status, nodeErrorResponse{Error: err.Error()})
+}
+
+// NodeAPIHandler serves a NodeAPI over HTTP. The ssdcheckd daemon
+// mounts it under /v1/node/ (strip the prefix before routing); tests
+// and benchmarks mount it on httptest servers. Routes, all POST:
+//
+//	/heartbeat  {}                     → {node, devices}
+//	/submit     {token, requests[]}    → {node, results[]}
+//	/attach     {token, state}         → {node}
+//	/detach     {token, device}        → {node, state}
+func NodeAPIHandler(a *NodeAPI) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		n, err := a.Heartbeat()
+		if err != nil {
+			nodeAPIError(w, nodeAPIStatus(err), err)
+			return
+		}
+		nodeAPIJSON(w, http.StatusOK, nodeHeartbeatResponse{Node: a.n.ID(), Devices: n})
+	})
+
+	mux.HandleFunc("POST /submit", func(w http.ResponseWriter, r *http.Request) {
+		var body nodeSubmitBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		res, err := a.Submit(body.Token, fromWire(body.Requests))
+		if err != nil {
+			nodeAPIError(w, nodeAPIStatus(err), err)
+			return
+		}
+		nodeAPIJSON(w, http.StatusOK, nodeSubmitResponse{Node: a.n.ID(), Results: res})
+	})
+
+	mux.HandleFunc("POST /attach", func(w http.ResponseWriter, r *http.Request) {
+		var body nodeAttachBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if err := a.Attach(body.Token, body.State); err != nil {
+			nodeAPIError(w, nodeAPIStatus(err), err)
+			return
+		}
+		nodeAPIJSON(w, http.StatusOK, map[string]string{"node": a.n.ID()})
+	})
+
+	mux.HandleFunc("POST /detach", func(w http.ResponseWriter, r *http.Request) {
+		var body nodeDetachBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		st, err := a.Detach(body.Token, body.Device)
+		if err != nil {
+			nodeAPIError(w, nodeAPIStatus(err), err)
+			return
+		}
+		nodeAPIJSON(w, http.StatusOK, nodeDetachResponse{Node: a.n.ID(), State: st})
+	})
+
+	return mux
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/fleet"
+)
+
+// apiNode builds one member with the given devices for NodeAPI tests.
+func apiNode(t *testing.T, id string, devs []fleet.DeviceSpec) *Node {
+	t.Helper()
+	cfg := nodeConfig()
+	cfg.Devices = devs
+	n, err := NewNode(id, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// served reads the node's cumulative served-request counter.
+func served(n *Node) int64 { return n.Manager().Metrics().Counters.Requests }
+
+func apiReqs(dev string) []fleet.Request {
+	return []fleet.Request{{DeviceID: dev, Op: blockdev.Read, LBA: 4096, Sectors: 8}}
+}
+
+// TestNodeAPISubmitDedupe: a duplicate token replays the original
+// results without re-executing; a fresh token executes again.
+func TestNodeAPISubmitDedupe(t *testing.T) {
+	n := apiNode(t, "api-a", clusterSpecs()[:1])
+	api := NewNodeAPI(n, 0)
+	base := served(n)
+
+	res1, err := api.Submit("tok-1", apiReqs("dev-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := served(n) - base; got != 1 {
+		t.Fatalf("first submit served %d requests, want 1", got)
+	}
+	res2, err := api.Submit("tok-1", apiReqs("dev-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := served(n) - base; got != 1 {
+		t.Fatalf("duplicate token re-executed: served %d, want 1", got)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("replayed results differ:\n%+v\n%+v", res1, res2)
+	}
+	if _, err := api.Submit("tok-2", apiReqs("dev-a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := served(n) - base; got != 2 {
+		t.Fatalf("fresh token after replay served %d total, want 2", got)
+	}
+}
+
+// TestNodeAPIStoppedSubmitNotRemembered: a submit bounced off a
+// stopped node is not a committed outcome — the same token retried
+// after Resume must execute, not replay the down-node error.
+func TestNodeAPIStoppedSubmitNotRemembered(t *testing.T) {
+	n := apiNode(t, "api-b", clusterSpecs()[:1])
+	api := NewNodeAPI(n, 0)
+	base := served(n)
+
+	n.Stop()
+	if _, err := api.Submit("tok-s", apiReqs("dev-a")); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("stopped-node submit err = %v, want ErrNodeDown", err)
+	}
+	n.Resume()
+	res, err := api.Submit("tok-s", apiReqs("dev-a"))
+	if err != nil {
+		t.Fatalf("retry after resume replayed the failure: %v", err)
+	}
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("retry after resume: %+v", res)
+	}
+	if got := served(n) - base; got != 1 {
+		t.Fatalf("retry after resume served %d requests, want 1", got)
+	}
+}
+
+// TestNodeAPIAttachDetachDedupe: device-state transfer is exactly-once
+// per token on both ends — a retried detach replays the exported state
+// of the now-missing device, a retried attach replays the success
+// instead of tripping on the duplicate ID.
+func TestNodeAPIAttachDetachDedupe(t *testing.T) {
+	src := apiNode(t, "api-src", clusterSpecs()[:1])
+	dst := apiNode(t, "api-dst", nil)
+	apiSrc, apiDst := NewNodeAPI(src, 0), NewNodeAPI(dst, 0)
+
+	st, err := apiSrc.Detach("d-1", "dev-a")
+	if err != nil || st == nil {
+		t.Fatalf("detach: st=%v err=%v", st, err)
+	}
+	if ids := src.Manager().DeviceIDs(); len(ids) != 0 {
+		t.Fatalf("source still holds %v after detach", ids)
+	}
+	st2, err := apiSrc.Detach("d-1", "dev-a") // replay: device long gone
+	if err != nil {
+		t.Fatalf("replayed detach failed: %v", err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatal("replayed detach returned different state")
+	}
+	if _, err := apiSrc.Detach("d-2", "dev-a"); err == nil {
+		t.Fatal("fresh-token detach of a missing device succeeded")
+	}
+
+	if err := apiDst.Attach("a-1", st); err != nil {
+		t.Fatal(err)
+	}
+	if err := apiDst.Attach("a-1", st); err != nil { // replay
+		t.Fatalf("replayed attach failed: %v", err)
+	}
+	if err := apiDst.Attach("a-2", st); err == nil {
+		t.Fatal("fresh-token duplicate attach succeeded")
+	}
+	if ids := dst.Manager().DeviceIDs(); len(ids) != 1 || ids[0] != "dev-a" {
+		t.Fatalf("destination holds %v, want [dev-a]", ids)
+	}
+	res, err := apiDst.Submit("s-1", apiReqs("dev-a"))
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("submit on migrated device: %v / %+v", err, res)
+	}
+}
+
+// TestNodeAPITokenEviction: the dedupe memory is FIFO-bounded — once a
+// token ages out of the cap, its reuse executes again.
+func TestNodeAPITokenEviction(t *testing.T) {
+	n := apiNode(t, "api-c", clusterSpecs()[:1])
+	api := NewNodeAPI(n, 2)
+	base := served(n)
+
+	for _, tok := range []string{"t-1", "t-2", "t-3"} { // t-1 evicted at t-3
+		if _, err := api.Submit(tok, apiReqs("dev-a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := api.Submit("t-2", apiReqs("dev-a")); err != nil { // still cached
+		t.Fatal(err)
+	}
+	if got := served(n) - base; got != 3 {
+		t.Fatalf("cached replay re-executed: served %d, want 3", got)
+	}
+	if _, err := api.Submit("t-1", apiReqs("dev-a")); err != nil { // evicted: runs again
+		t.Fatal(err)
+	}
+	if got := served(n) - base; got != 4 {
+		t.Fatalf("evicted token served %d total, want 4", got)
+	}
+}
+
+// TestNodeAPIEmptyToken: every mutating operation rejects a missing
+// idempotency token.
+func TestNodeAPIEmptyToken(t *testing.T) {
+	n := apiNode(t, "api-d", clusterSpecs()[:1])
+	api := NewNodeAPI(n, 0)
+	if _, err := api.Submit("", apiReqs("dev-a")); err == nil {
+		t.Error("tokenless submit succeeded")
+	}
+	if _, err := api.Detach("", "dev-a"); err == nil {
+		t.Error("tokenless detach succeeded")
+	}
+	if err := api.Attach("", &fleet.DeviceState{}); err == nil {
+		t.Error("tokenless attach succeeded")
+	}
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ssdcheck/internal/obs"
+)
+
+// Crash recovery: a coordinator opened through RecoverCoordinator
+// durably logs every deterministic-state mutation to a WAL and, on
+// restart, replays snapshot+tail to resume exactly where the dead
+// coordinator stopped — same seq counter, same placement/health/
+// breaker logs, same member state machines — so subsequent log lines
+// are byte-identical to an uninterrupted run.
+
+// walAppendLocked durably logs one record, compacting the WAL into a
+// snapshot when the record count crosses the threshold. A no-op
+// without a WAL or during replay.
+func (c *Coordinator) walAppendLocked(rec walRecord) error {
+	if c.wal == nil || c.replaying {
+		return nil
+	}
+	if err := c.wal.Append(rec); err != nil {
+		return err
+	}
+	if c.wal.appends >= walCompactAt {
+		return c.wal.Compact(c.snapshotLocked())
+	}
+	return nil
+}
+
+// snapshotLocked captures the coordinator's full deterministic state.
+func (c *Coordinator) snapshotLocked() *walSnapshot {
+	snap := &walSnapshot{
+		Round:      c.round,
+		Now:        c.now,
+		Seq:        c.seq,
+		Moves:      c.cMoves.Value(),
+		Placement:  make(map[string]string, len(c.placement)),
+		DevOrder:   append([]string(nil), c.devOrder...),
+		PlaceLog:   append([]PlacementEntry(nil), c.placelog...),
+		TransLog:   append([]NodeTransition(nil), c.translog...),
+		BreakerLog: append([]BreakerTransition(nil), c.breakerlog...),
+	}
+	for d, n := range c.placement {
+		snap.Placement[d] = n
+	}
+	for _, id := range c.order {
+		mb := c.members[id]
+		snap.Members = append(snap.Members, walMember{
+			ID:          id,
+			Addr:        mb.node.Addr(),
+			Health:      mb.health,
+			Misses:      mb.misses,
+			Beats:       mb.beats,
+			InRing:      c.ring.Has(id),
+			Brk:         mb.brk,
+			BrkFails:    mb.brkFails,
+			BrkOpenedAt: mb.brkOpenedAt,
+		})
+	}
+	return snap
+}
+
+// restoreSnapshot rebuilds the coordinator's state from a compaction
+// point. Runs before any records replay, on a freshly built (empty)
+// coordinator.
+func (c *Coordinator) restoreSnapshot(snap *walSnapshot, resolve NodeResolver) error {
+	c.round = snap.Round
+	c.now = snap.Now
+	c.seq = snap.Seq
+	c.gRound.Set(c.round)
+	c.cMoves.Add(snap.Moves)
+	for _, wm := range snap.Members {
+		n, err := resolve(wm.ID, wm.Addr)
+		if err != nil {
+			return fmt.Errorf("cluster: recovering member %q: %w", wm.ID, err)
+		}
+		c.members[wm.ID] = &member{
+			node:        n,
+			health:      wm.Health,
+			misses:      wm.Misses,
+			beats:       wm.Beats,
+			brk:         wm.Brk,
+			brkFails:    wm.BrkFails,
+			brkOpenedAt: wm.BrkOpenedAt,
+		}
+		c.order = append(c.order, wm.ID)
+		if wm.InRing {
+			c.ring.Add(wm.ID)
+		}
+		c.healthGaugeLocked(wm.ID).Set(int64(wm.Health))
+		c.breakerGaugeLocked(wm.ID)
+	}
+	for d, n := range snap.Placement {
+		c.placement[d] = n
+	}
+	c.devOrder = append(c.devOrder, snap.DevOrder...)
+	c.placelog = append(c.placelog, snap.PlaceLog...)
+	c.translog = append(c.translog, snap.TransLog...)
+	c.breakerlog = append(c.breakerlog, snap.BreakerLog...)
+	return nil
+}
+
+// applyRecord replays one WAL record. Join/Leave/Adopt re-run the
+// real entry points (the replaying flag suppresses WAL re-appends and
+// physical device moves); tick and breaker records feed their logged
+// outcomes straight into the state machines.
+func (c *Coordinator) applyRecord(rec walRecord, resolve NodeResolver) error {
+	switch rec.Type {
+	case "join":
+		n, err := resolve(rec.Node, rec.Addr)
+		if err != nil {
+			return fmt.Errorf("cluster: recovering member %q: %w", rec.Node, err)
+		}
+		return c.Join(n)
+	case "leave":
+		return c.Leave(rec.Node)
+	case "adopt":
+		return c.AdoptDevices(nil, rec.Devices)
+	case "tick":
+		return c.replayTick(rec)
+	case "admit":
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, id := range rec.Nodes {
+			if mb := c.members[id]; mb != nil {
+				c.breakerAdmitLocked(mb)
+			}
+		}
+		return nil
+	case "outcome":
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i, id := range rec.Nodes {
+			mb := c.members[id]
+			if mb == nil || i >= len(rec.Failed) {
+				continue
+			}
+			c.breakerOutcomeLocked(mb, rec.Failed[i])
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown WAL record type %q", rec.Type)
+	}
+}
+
+// replayTick re-runs one heartbeat round from its logged outcomes: no
+// transport fan-out — the recorded beat/miss decisions drive the
+// health machines — but the clock, round counter, and the transport's
+// fault plan all advance, so a fault plan resumes in lockstep.
+func (c *Coordinator) replayTick(rec walRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	c.now = c.now.Add(c.pol.HeartbeatInterval)
+	c.gRound.Set(c.round)
+	if ra, ok := c.tr.(roundAdvancer); ok {
+		ra.BeginRound()
+	}
+	for i, id := range rec.Nodes {
+		mb := c.members[id]
+		if mb == nil || i >= len(rec.OK) {
+			continue
+		}
+		if rec.OK[i] {
+			if err := c.noteBeatLocked(mb); err != nil {
+				return err
+			}
+		} else if err := c.noteMissLocked(mb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverCoordinator opens (or creates) a durable coordinator at the
+// given WAL directory. An empty directory yields a fresh coordinator
+// that logs from its first decision; an existing one replays
+// snapshot+tail and resumes. resolve turns logged membership back
+// into node handles — RemoteResolver suffices when every member is a
+// real process; in-process members need the caller's live handles. A
+// torn tail record (crash mid-append) is dropped and truncated.
+func RecoverCoordinator(pol Policy, tr Transport, reg *obs.Registry, dir string, resolve NodeResolver) (*Coordinator, error) {
+	if resolve == nil {
+		resolve = RemoteResolver
+	}
+	w, snap, tail, err := OpenWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinator(pol, tr, reg)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	c.replaying = true
+	if snap != nil {
+		if err := c.restoreSnapshot(snap, resolve); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	for _, rec := range tail {
+		if err := c.applyRecord(rec, resolve); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("cluster: replaying WAL: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.replaying = false
+	c.wal = w
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Checkpoint forces a WAL compaction: the current state becomes the
+// snapshot and the record log empties. Errors without an attached
+// WAL.
+func (c *Coordinator) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return fmt.Errorf("cluster: coordinator has no WAL")
+	}
+	return c.wal.Compact(c.snapshotLocked())
+}
+
+// WALDir returns the attached WAL's directory, or "".
+func (c *Coordinator) WALDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return ""
+	}
+	return c.wal.Dir()
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/fleet"
+)
+
+// crashMode selects where (and whether) recoveryScenario kills the
+// coordinator.
+type crashMode int
+
+const (
+	noCrash crashMode = iota
+	crashMidWorkload
+	crashAfterCheckpoint
+)
+
+// recoveryScenario drives one kill-a-node failover workload over a
+// WAL-backed harness, optionally SIGKILL-style crashing and recovering
+// the coordinator at the midpoint, and returns the per-device
+// snapshots plus the JSON placement and transition logs. The crash
+// happens after half the traffic and two heartbeat rounds; the node
+// kill, quarantine, failover, and second half of the traffic all run
+// on the recovered coordinator — so matching logs prove the replayed
+// state machine continues exactly where the dead one stopped.
+func recoveryScenario(t *testing.T, mode crashMode) (snaps, placeLog, transLog []byte) {
+	t.Helper()
+	const n = 240
+	devs := clusterSpecs()
+	strs := deviceStreams(devs, n)
+	h, err := NewHarness(HarnessConfig{
+		Nodes:   3,
+		Devices: devs,
+		Node:    nodeConfig(),
+		WALDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	c := h.Coordinator()
+
+	submitSteps(t, c, devs, strs, 0, n/2)
+	for i := 0; i < 2; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode == crashAfterCheckpoint {
+		if err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode != noCrash {
+		if err := h.CrashCoordinator(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		c = h.Coordinator()
+	}
+
+	// Everything from here on runs post-recovery: the kill, the health
+	// machine's quarantine, the failover migrations, and the rest of
+	// the workload.
+	victim := c.Placement()[devs[0].ID]
+	if victim == "" {
+		t.Fatalf("device %q unplaced after recovery", devs[0].ID)
+	}
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range c.Nodes() {
+		if st.ID == victim && (st.Health != fleet.Quarantined || st.Devices != 0) {
+			t.Fatalf("victim after 4 missed beats: %+v", st)
+		}
+	}
+	submitSteps(t, c, devs, strs, n/2, n)
+
+	pl, err := json.MarshalIndent(c.PlacementLog(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := json.MarshalIndent(c.Transitions(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshalSnaps(t, clusterSnapshots(t, h, devs)), pl, tl
+}
+
+// TestClusterCrashRecoveryEquivalence is the durability acceptance
+// check: killing the coordinator mid-workload and replaying its WAL
+// yields byte-identical per-device stats and byte-identical subsequent
+// placement and health log lines, with the seq counter continuing
+// unbroken — for both the tail-replay path and the snapshot path
+// (an explicit checkpoint right before the crash).
+func TestClusterCrashRecoveryEquivalence(t *testing.T) {
+	baseSnaps, basePlace, baseTrans := recoveryScenario(t, noCrash)
+
+	for _, tc := range []struct {
+		name string
+		mode crashMode
+	}{
+		{"tail-replay", crashMidWorkload},
+		{"snapshot", crashAfterCheckpoint},
+	} {
+		snaps, place, trans := recoveryScenario(t, tc.mode)
+		if !bytes.Equal(snaps, baseSnaps) {
+			t.Errorf("%s: per-device stats diverged from the uninterrupted run\nbase:\n%s\ncrash:\n%s",
+				tc.name, baseSnaps, snaps)
+		}
+		if !bytes.Equal(place, basePlace) {
+			t.Errorf("%s: placement logs diverged\nbase:\n%s\ncrash:\n%s", tc.name, basePlace, place)
+		}
+		if !bytes.Equal(trans, baseTrans) {
+			t.Errorf("%s: transition logs diverged\nbase:\n%s\ncrash:\n%s", tc.name, baseTrans, trans)
+		}
+	}
+
+	// The scenario must actually exercise post-recovery failover: the
+	// baseline logs carry quarantine transitions and failover moves.
+	var places []PlacementEntry
+	if err := json.Unmarshal(basePlace, &places); err != nil {
+		t.Fatal(err)
+	}
+	failover := 0
+	for _, p := range places {
+		if p.Cause == "failover" {
+			failover++
+		}
+	}
+	if failover == 0 {
+		t.Fatal("scenario moved no devices on failover")
+	}
+}
+
+// TestClusterRecoveryTornTail: garbage appended to the log — the torn
+// final record of a crash mid-append — is dropped on recovery, and the
+// recovered coordinator keeps serving and ticking.
+func TestClusterRecoveryTornTail(t *testing.T) {
+	devs := clusterSpecs()
+	dir := t.TempDir()
+	h, err := NewHarness(HarnessConfig{
+		Nodes:   3,
+		Devices: devs,
+		Node:    nodeConfig(),
+		WALDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	c := h.Coordinator()
+	for i := 0; i < 2; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placement := c.Placement()
+	if err := h.CrashCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"tick","nodes":["node`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	c = h.Coordinator()
+	got := c.Placement()
+	if len(got) != len(placement) {
+		t.Fatalf("recovered placement has %d devices, want %d", len(got), len(placement))
+	}
+	for dev, node := range placement {
+		if got[dev] != node {
+			t.Fatalf("device %q recovered on %q, was on %q", dev, got[dev], node)
+		}
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit([]fleet.Request{{DeviceID: devs[0].ID, Op: blockdev.Read, Sectors: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("post-recovery submit failed: %v", res[0].Err)
+	}
+}
+
+// TestClusterWALAutoCompaction: crossing the append threshold compacts
+// the log into a snapshot automatically, and recovery from that
+// snapshot preserves the full logs and round counter.
+func TestClusterWALAutoCompaction(t *testing.T) {
+	devs := clusterSpecs()[:2]
+	dir := t.TempDir()
+	h, err := NewHarness(HarnessConfig{
+		Nodes:   2,
+		Devices: devs,
+		Node:    nodeConfig(),
+		WALDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	c := h.Coordinator()
+
+	// Every tick appends one record; the bootstrap contributed a
+	// handful more, so this comfortably crosses walCompactAt.
+	for i := 0; i < walCompactAt; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, walSnapFile)); err != nil {
+		t.Fatalf("no snapshot after %d ticks: %v", walCompactAt, err)
+	}
+	place, err := json.MarshalIndent(c.PlacementLog(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.CrashCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	c = h.Coordinator()
+	got, err := json.MarshalIndent(c.PlacementLog(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, place) {
+		t.Fatalf("placement log diverged across snapshot recovery\nbefore:\n%s\nafter:\n%s", place, got)
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
+)
+
+// RPCPolicy bounds one coordinator→node RPC: a per-attempt deadline
+// and a bounded retry schedule with exponential backoff and seeded
+// jitter, reusing the fleet's RetryPolicy shape one layer up. The
+// zero value takes the defaults.
+type RPCPolicy struct {
+	// Deadline is the per-attempt budget. On the in-memory loopback
+	// transport it is virtual time (a lost request costs exactly one
+	// deadline); on the HTTP transport it is the wall-clock request
+	// timeout. 0 defaults to 200ms.
+	Deadline time.Duration
+
+	// Retry bounds the retries after a failed or timed-out attempt.
+	// Heartbeats are never retried — a lost heartbeat is information
+	// the health machine wants, not an error to paper over. The zero
+	// value takes fleet.RetryPolicy's defaults.
+	Retry fleet.RetryPolicy
+}
+
+// WithDefaults fills zero fields.
+func (p RPCPolicy) WithDefaults() RPCPolicy {
+	if p.Deadline == 0 {
+		p.Deadline = 200 * time.Millisecond
+	}
+	p.Retry = p.Retry.WithDefaults()
+	return p
+}
+
+// rpcMetrics is the transport-side observability for the network
+// layer: per-node retry and timeout counters plus per-node RPC
+// latency histograms, all in the coordinator's cluster registry so
+// they render in the merged exposition.
+type rpcMetrics struct {
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	retries  map[string]*obs.Counter
+	timeouts map[string]*obs.Counter
+	lat      map[string]*obs.Histogram
+}
+
+func newRPCMetrics(reg *obs.Registry) *rpcMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &rpcMetrics{
+		reg:      reg,
+		retries:  make(map[string]*obs.Counter),
+		timeouts: make(map[string]*obs.Counter),
+		lat:      make(map[string]*obs.Histogram),
+	}
+}
+
+func (m *rpcMetrics) node(id string) (*obs.Counter, *obs.Counter, *obs.Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.retries[id]
+	if !ok {
+		l := obs.Label{Name: "member", Value: id}
+		r = m.reg.Counter("ssdcheck_cluster_rpc_retries_total",
+			"Submit RPC retries by member.", l)
+		m.retries[id] = r
+		m.timeouts[id] = m.reg.Counter("ssdcheck_cluster_rpc_timeouts_total",
+			"Submit RPC attempts that burned their deadline, by member.", l)
+		m.lat[id] = m.reg.Histogram("ssdcheck_cluster_rpc_latency_seconds",
+			"Per-attempt submit RPC latency by member.", l)
+	}
+	return r, m.timeouts[id], m.lat[id]
+}
+
+// Retry records one retry against the node.
+func (m *rpcMetrics) Retry(id string) {
+	r, _, _ := m.node(id)
+	r.Inc()
+}
+
+// Timeout records one deadline-burning attempt against the node.
+func (m *rpcMetrics) Timeout(id string) {
+	_, t, _ := m.node(id)
+	t.Inc()
+}
+
+// Observe records one attempt's latency against the node.
+func (m *rpcMetrics) Observe(id string, d time.Duration) {
+	_, _, h := m.node(id)
+	h.Observe(d)
+}

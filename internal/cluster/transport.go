@@ -23,6 +23,20 @@ type Transport interface {
 	Submit(n *Node, reqs []fleet.Request) ([]fleet.Result, error)
 }
 
+// DeviceMover is the optional transport surface for migrating device
+// state between nodes that do not share an address space. Transports
+// that implement it (HTTPTransport) let the coordinator fail devices
+// over between real processes; the in-process transports don't need
+// it — the coordinator moves fleet.PortableDevice handles directly
+// when both endpoints have local managers.
+type DeviceMover interface {
+	// DetachDevice exports a device's wire state off the node.
+	DetachDevice(n *Node, device string) (*fleet.DeviceState, error)
+
+	// AttachDevice imports a device's wire state into the node.
+	AttachDevice(n *Node, st *fleet.DeviceState) error
+}
+
 // directRTT is the in-process transport's constant round-trip time:
 // comfortably under the default heartbeat deadline, and fixed so
 // heartbeat accounting is deterministic.

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/simclock"
+)
+
+// The coordinator's durability layer: an append-only JSONL log of the
+// decisions that mutate deterministic state, periodically compacted
+// into a full snapshot. Replaying snapshot+tail rebuilds the
+// coordinator bit-for-bit — same seq counter, same logs, same breaker
+// and health machines — so a restarted coordinator continues emitting
+// byte-identical log lines from where the dead one stopped.
+//
+// What gets a record: Join, Leave, AdoptDevices, every Tick (with the
+// per-member heartbeat outcomes — the one nondeterministic input the
+// health machines consume), and Submits that touched breaker state.
+// What doesn't: Kill and Restore (they flip the node process, not
+// coordinator bookkeeping — the health machine re-discovers the
+// process state through recorded heartbeat outcomes), and clean
+// submits with idle breakers (no state change to persist).
+//
+// Torn tails: a crash mid-append leaves a final partial line. Load
+// ignores any trailing line that does not parse, and the next append
+// truncates it away, so recovery after kill -9 is just restart.
+
+// walRecord is one logged coordinator decision.
+type walRecord struct {
+	// Type is one of "join", "leave", "adopt", "tick", "submit".
+	Type string `json:"type"`
+	// Node is the member a join/leave concerns.
+	Node string `json:"node,omitempty"`
+	// Addr is the joined member's base URL ("" in-process).
+	Addr string `json:"addr,omitempty"`
+	// Devices are an adopt's device IDs, placement order.
+	Devices []string `json:"devices,omitempty"`
+	// Nodes are the members a tick/submit touched, membership order.
+	Nodes []string `json:"nodes,omitempty"`
+	// OK are a tick's heartbeat outcomes, aligned with Nodes.
+	OK []bool `json:"ok,omitempty"`
+	// Failed are a submit's RPC outcomes for the admitted subset of
+	// Nodes, in membership order.
+	Failed []bool `json:"failed,omitempty"`
+}
+
+// walMember is one member's bookkeeping in a snapshot.
+type walMember struct {
+	ID          string        `json:"id"`
+	Addr        string        `json:"addr,omitempty"`
+	Health      fleet.Health  `json:"health"`
+	Misses      int           `json:"misses"`
+	Beats       int           `json:"beats"`
+	InRing      bool          `json:"in_ring"`
+	Brk         BreakerState  `json:"breaker"`
+	BrkFails    int           `json:"breaker_fails"`
+	BrkOpenedAt simclock.Time `json:"breaker_opened_at"`
+}
+
+// walSnapshot is the coordinator's full deterministic state at a
+// compaction point.
+type walSnapshot struct {
+	Round      int64               `json:"round"`
+	Now        simclock.Time       `json:"now"`
+	Seq        int64               `json:"seq"`
+	Moves      int64               `json:"moves"`
+	Members    []walMember         `json:"members"` // join order
+	Placement  map[string]string   `json:"placement"`
+	DevOrder   []string            `json:"dev_order"`
+	PlaceLog   []PlacementEntry    `json:"placement_log"`
+	TransLog   []NodeTransition    `json:"transition_log"`
+	BreakerLog []BreakerTransition `json:"breaker_log"`
+}
+
+// WAL is the on-disk form: <dir>/wal.jsonl holds the records since
+// the last compaction, <dir>/snapshot.json the compaction itself
+// (absent before the first one).
+type WAL struct {
+	dir     string
+	f       *os.File
+	w       *bufio.Writer
+	appends int // records since last compaction
+}
+
+const (
+	walFile      = "wal.jsonl"
+	walSnapFile  = "snapshot.json"
+	walSnapTemp  = "snapshot.json.tmp"
+	walCompactAt = 256 // appends between automatic compactions
+)
+
+// OpenWAL opens (creating if needed) a coordinator WAL directory and
+// returns the handle plus the recovered snapshot and tail records.
+// snap is nil when no compaction has happened yet. A torn final line
+// — the signature of a crash mid-append — is dropped and truncated.
+func OpenWAL(dir string) (w *WAL, snap *walSnapshot, tail []walRecord, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("cluster: opening WAL dir: %w", err)
+	}
+
+	if buf, err := os.ReadFile(filepath.Join(dir, walSnapFile)); err == nil {
+		snap = &walSnapshot{}
+		if err := json.Unmarshal(buf, snap); err != nil {
+			return nil, nil, nil, fmt.Errorf("cluster: corrupt WAL snapshot: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("cluster: reading WAL snapshot: %w", err)
+	}
+
+	path := filepath.Join(dir, walFile)
+	var keep int64 // bytes of intact records
+	if buf, err := os.ReadFile(path); err == nil {
+		for len(buf) > 0 {
+			nl := -1
+			for i, b := range buf {
+				if b == '\n' {
+					nl = i
+					break
+				}
+			}
+			line := buf
+			if nl >= 0 {
+				line = buf[:nl]
+			}
+			var rec walRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break // torn tail: drop this line and anything after
+			}
+			tail = append(tail, rec)
+			if nl < 0 {
+				keep += int64(len(line))
+				buf = nil
+			} else {
+				keep += int64(nl) + 1
+				buf = buf[nl+1:]
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("cluster: reading WAL: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("cluster: opening WAL: %w", err)
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("cluster: truncating torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("cluster: seeking WAL: %w", err)
+	}
+	return &WAL{dir: dir, f: f, w: bufio.NewWriter(f), appends: len(tail)}, snap, tail, nil
+}
+
+// Dir returns the WAL's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Append durably logs one record: encode, write, flush, fsync — the
+// record is on disk before the mutation it describes is acknowledged.
+func (w *WAL) Append(rec walRecord) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding WAL record: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("cluster: appending WAL record: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flushing WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: syncing WAL: %w", err)
+	}
+	w.appends++
+	return nil
+}
+
+// Compact atomically replaces the snapshot with the given state and
+// truncates the record log: write snapshot.json.tmp, fsync, rename
+// over snapshot.json, then empty wal.jsonl. A crash between the
+// rename and the truncate replays the tail onto the new snapshot —
+// records are idempotent re-applications of state the snapshot
+// already holds only if they come after it, so the truncate must win
+// before new records are appended; Compact is called under the
+// coordinator lock to guarantee that.
+func (w *WAL) Compact(snap *walSnapshot) error {
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: encoding WAL snapshot: %w", err)
+	}
+	tmp := filepath.Join(w.dir, walSnapTemp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: writing WAL snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: writing WAL snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: syncing WAL snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: closing WAL snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, walSnapFile)); err != nil {
+		return fmt.Errorf("cluster: installing WAL snapshot: %w", err)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: truncating WAL after compaction: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("cluster: seeking WAL after compaction: %w", err)
+	}
+	w.w.Reset(w.f)
+	w.appends = 0
+	return nil
+}
+
+// Close releases the WAL file handle.
+func (w *WAL) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// NodeResolver turns a WAL membership record back into a node handle
+// during recovery. addr is the base URL the node joined with ("" for
+// in-process members).
+type NodeResolver func(id, addr string) (*Node, error)
+
+// RemoteResolver rebuilds remote nodes from their logged addresses —
+// sufficient for a coordinator whose members are all real processes.
+// In-process members (no address) need a caller-supplied resolver
+// that returns the live *Node handles.
+func RemoteResolver(id, addr string) (*Node, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: recovering in-process node %q needs a resolver", id)
+	}
+	return NewRemoteNode(id, addr)
+}

@@ -269,7 +269,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(Names()) != 18 {
+	if len(Names()) != 19 {
 		t.Fatalf("registry has %d entries", len(Names()))
 	}
 	var buf bytes.Buffer

@@ -13,24 +13,25 @@ type Runner func(Opts) Report
 
 // Registry maps experiment identifiers to runners.
 var Registry = map[string]Runner{
-	"fig1":     func(o Opts) Report { return Fig01(o) },
-	"fig3":     func(o Opts) Report { return Fig03(o) },
-	"fig4":     func(o Opts) Report { return Fig04(o) },
-	"fig5":     func(o Opts) Report { return Fig05(o) },
-	"fig6":     func(o Opts) Report { return Fig06(o) },
-	"fig11":    func(o Opts) Report { return Fig11(o) },
-	"fig12":    func(o Opts) Report { return Fig12(o) },
-	"fig13":    func(o Opts) Report { return Fig13(o) },
-	"fig14":    func(o Opts) Report { return Fig14(o) },
-	"fig15":    func(o Opts) Report { return Fig15(o) },
-	"table1":   func(o Opts) Report { return Table1(o) },
-	"ablation": func(o Opts) Report { return Ablation(o) },
-	"slc":      func(o Opts) Report { return SLCExtension(o) },
-	"fios":     func(o Opts) Report { return FIOS(o) },
-	"qdsweep":  func(o Opts) Report { return QDSweep(o) },
-	"table2":   func(o Opts) Report { return Table2(o) },
-	"table3":   func(o Opts) Report { return Table3(o) },
-	"failover": func(o Opts) Report { return ClusterFailover(o) },
+	"fig1":      func(o Opts) Report { return Fig01(o) },
+	"fig3":      func(o Opts) Report { return Fig03(o) },
+	"fig4":      func(o Opts) Report { return Fig04(o) },
+	"fig5":      func(o Opts) Report { return Fig05(o) },
+	"fig6":      func(o Opts) Report { return Fig06(o) },
+	"fig11":     func(o Opts) Report { return Fig11(o) },
+	"fig12":     func(o Opts) Report { return Fig12(o) },
+	"fig13":     func(o Opts) Report { return Fig13(o) },
+	"fig14":     func(o Opts) Report { return Fig14(o) },
+	"fig15":     func(o Opts) Report { return Fig15(o) },
+	"table1":    func(o Opts) Report { return Table1(o) },
+	"ablation":  func(o Opts) Report { return Ablation(o) },
+	"slc":       func(o Opts) Report { return SLCExtension(o) },
+	"fios":      func(o Opts) Report { return FIOS(o) },
+	"qdsweep":   func(o Opts) Report { return QDSweep(o) },
+	"table2":    func(o Opts) Report { return Table2(o) },
+	"table3":    func(o Opts) Report { return Table3(o) },
+	"failover":  func(o Opts) Report { return ClusterFailover(o) },
+	"partition": func(o Opts) Report { return Partition(o) },
 }
 
 // Names returns the registered experiment identifiers in a stable order.

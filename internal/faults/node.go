@@ -31,6 +31,25 @@ const (
 	// the node is indistinguishable from one losing heartbeats — which
 	// is the point.
 	SlowNode
+	// RPCDrop loses submit requests to the target node before they
+	// arrive: the node never sees them, the caller burns its RPC
+	// deadline and retries. Models packet loss on the request path.
+	RPCDrop
+	// RPCDuplicate delivers each submit request to the target node
+	// twice. A node API deduplicating by idempotency token collapses
+	// the pair; anything else double-applies — which is what the fault
+	// exists to catch.
+	RPCDuplicate
+	// RPCDelay adds Delay to submit responses from the target node.
+	// When the total exceeds the RPC deadline the response is as good
+	// as lost: the caller times out and retries even though the node
+	// already executed the request.
+	RPCDelay
+	// RPCTimeout executes submit requests on the target node but loses
+	// the responses: the caller burns its deadline and retries an
+	// operation that already happened — the asymmetric-partition case
+	// idempotency tokens exist for.
+	RPCTimeout
 )
 
 // String names the node fault kind for logs and reports.
@@ -42,6 +61,14 @@ func (k NodeKind) String() string {
 		return "partition"
 	case SlowNode:
 		return "slow-node"
+	case RPCDrop:
+		return "rpc-drop"
+	case RPCDuplicate:
+		return "rpc-duplicate"
+	case RPCDelay:
+		return "rpc-delay"
+	case RPCTimeout:
+		return "rpc-timeout"
 	default:
 		return fmt.Sprintf("node-kind(%d)", uint8(k))
 	}
@@ -80,9 +107,9 @@ type NodeSchedule struct {
 func (s NodeSchedule) withDefaults() NodeSchedule {
 	if s.Rounds == 0 {
 		switch s.Kind {
-		case HeartbeatLoss:
+		case HeartbeatLoss, RPCDrop, RPCDuplicate, RPCTimeout:
 			s.Rounds = 2
-		case Partition, SlowNode:
+		case Partition, SlowNode, RPCDelay:
 			s.Rounds = 4
 		}
 	}
@@ -93,7 +120,7 @@ func (s NodeSchedule) withDefaults() NodeSchedule {
 }
 
 func (s NodeSchedule) validate(i int) error {
-	if s.Kind > SlowNode {
+	if s.Kind > RPCTimeout {
 		return fmt.Errorf("faults: node schedule %d: unknown kind %d", i, s.Kind)
 	}
 	if (s.At > 0) == (s.Prob > 0) {
@@ -227,4 +254,31 @@ func (f *NodeFaults) Delay(node string) time.Duration {
 		return s.Delay
 	}
 	return 0
+}
+
+// RPCDropped reports whether submit requests to the node are lost
+// before delivery this round.
+func (f *NodeFaults) RPCDropped(node string) bool {
+	return f.active(RPCDrop, node) != nil
+}
+
+// RPCDuplicated reports whether submit requests to the node are
+// delivered twice this round.
+func (f *NodeFaults) RPCDuplicated(node string) bool {
+	return f.active(RPCDuplicate, node) != nil
+}
+
+// RPCDelayed returns the added submit-response latency for the node
+// this round (0 when no RPCDelay window covers it).
+func (f *NodeFaults) RPCDelayed(node string) time.Duration {
+	if s := f.active(RPCDelay, node); s != nil {
+		return s.Delay
+	}
+	return 0
+}
+
+// RPCTimedOut reports whether submit responses from the node are lost
+// after execution this round.
+func (f *NodeFaults) RPCTimedOut(node string) bool {
+	return f.active(RPCTimeout, node) != nil
 }

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNodeRPCFaultWindows: each RPC-layer kind answers its own
+// predicate exactly inside its window, with the kind's default width —
+// 2 rounds for drop/duplicate/timeout, 4 for delay — and stays
+// invisible to the node-level predicates.
+func TestNodeRPCFaultWindows(t *testing.T) {
+	f, err := NewNodeFaults(NodePlan{Seed: 1, Schedules: []NodeSchedule{
+		{Kind: RPCDrop, Node: "n-drop", At: 2},
+		{Kind: RPCDuplicate, Node: "n-dup", At: 2},
+		{Kind: RPCTimeout, Node: "n-to", At: 2},
+		{Kind: RPCDelay, Node: "n-delay", At: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type roundState struct {
+		drop, dup, to bool
+		delay         time.Duration
+	}
+	expect := map[int64]roundState{
+		1: {},
+		2: {drop: true, dup: true, to: true, delay: 400 * time.Millisecond},
+		3: {drop: true, dup: true, to: true, delay: 400 * time.Millisecond},
+		4: {delay: 400 * time.Millisecond},
+		5: {delay: 400 * time.Millisecond},
+		6: {},
+	}
+	for round := int64(1); round <= 6; round++ {
+		f.BeginRound()
+		want := expect[round]
+		if got := f.RPCDropped("n-drop"); got != want.drop {
+			t.Errorf("round %d: RPCDropped = %v, want %v", round, got, want.drop)
+		}
+		if got := f.RPCDuplicated("n-dup"); got != want.dup {
+			t.Errorf("round %d: RPCDuplicated = %v, want %v", round, got, want.dup)
+		}
+		if got := f.RPCTimedOut("n-to"); got != want.to {
+			t.Errorf("round %d: RPCTimedOut = %v, want %v", round, got, want.to)
+		}
+		if got := f.RPCDelayed("n-delay"); got != want.delay {
+			t.Errorf("round %d: RPCDelayed = %v, want %v", round, got, want.delay)
+		}
+		// RPC faults are data-plane only: no heartbeat or partition
+		// predicate may fire for any of the targets.
+		for _, node := range []string{"n-drop", "n-dup", "n-to", "n-delay"} {
+			if f.DropHeartbeat(node) || f.Partitioned(node) {
+				t.Errorf("round %d: RPC fault on %q leaked into the control plane", round, node)
+			}
+		}
+		// And targeting is per-node: other members never see them.
+		if f.RPCDropped("bystander") || f.RPCDuplicated("bystander") ||
+			f.RPCTimedOut("bystander") || f.RPCDelayed("bystander") != 0 {
+			t.Errorf("round %d: RPC fault fired on an untargeted node", round)
+		}
+	}
+}
+
+// TestNodeRPCFaultWildcardAndDelay: an empty Node targets every member,
+// and an explicit Delay overrides the default.
+func TestNodeRPCFaultWildcardAndDelay(t *testing.T) {
+	f, err := NewNodeFaults(NodePlan{Seed: 1, Schedules: []NodeSchedule{
+		{Kind: RPCDelay, At: 1, Rounds: 1, Delay: 50 * time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.BeginRound()
+	for _, node := range []string{"node-0", "node-1", "anything"} {
+		if got := f.RPCDelayed(node); got != 50*time.Millisecond {
+			t.Errorf("RPCDelayed(%q) = %v, want 50ms", node, got)
+		}
+	}
+	f.BeginRound()
+	if got := f.RPCDelayed("node-0"); got != 0 {
+		t.Errorf("delay outlived its 1-round window: %v", got)
+	}
+}
+
+// TestNodeRPCKindStrings: the RPC kinds render stable names for logs
+// and reports.
+func TestNodeRPCKindStrings(t *testing.T) {
+	for kind, want := range map[NodeKind]string{
+		RPCDrop:      "rpc-drop",
+		RPCDuplicate: "rpc-duplicate",
+		RPCDelay:     "rpc-delay",
+		RPCTimeout:   "rpc-timeout",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", kind, got, want)
+		}
+	}
+}

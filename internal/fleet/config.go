@@ -33,6 +33,7 @@ import (
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/faults"
 	"ssdcheck/internal/obs"
+	"ssdcheck/internal/simclock"
 	"ssdcheck/internal/ssd"
 )
 
@@ -97,7 +98,10 @@ type RetryPolicy struct {
 	Jitter float64
 }
 
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults fills zero fields with the standard defaults. Exported
+// so other layers reusing the retry shape — the cluster's RPC
+// transports back off with the same policy — normalize identically.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if p.MaxRetries == 0 {
 		p.MaxRetries = 3
 	}
@@ -117,6 +121,22 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.Jitter = 0
 	}
 	return p
+}
+
+// Delay returns the backoff before retry number retries (0-based):
+// exponential doubling from Backoff, capped at MaxBackoff, with full
+// seeded jitter over [1-Jitter, 1]·delay. The RNG is drawn exactly
+// once per call when Jitter > 0, so callers sharing an RNG stream get
+// reproducible schedules.
+func (p RetryPolicy) Delay(retries int, rng *simclock.RNG) time.Duration {
+	d := p.Backoff << retries
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - p.Jitter*rng.Float64()))
+	}
+	return d
 }
 
 func (p RetryPolicy) validate() error {
@@ -369,7 +389,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	c.Retry = c.Retry.withDefaults()
+	c.Retry = c.Retry.WithDefaults()
 	c.Health = c.Health.withDefaults()
 	c.Model = c.Model.withDefaults()
 	if c.Registry == nil {

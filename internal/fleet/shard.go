@@ -185,13 +185,7 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		if !errors.Is(err, blockdev.ErrTransient) || retries >= cfg.Retry.MaxRetries {
 			break
 		}
-		d := cfg.Retry.Backoff << retries
-		if d > cfg.Retry.MaxBackoff {
-			d = cfg.Retry.MaxBackoff
-		}
-		if cfg.Retry.Jitter > 0 {
-			d = time.Duration(float64(d) * (1 - cfg.Retry.Jitter*md.rng.Float64()))
-		}
+		d := cfg.Retry.Delay(retries, md.rng)
 		span("backoff", submitAt, submitAt.Add(d))
 		retries++
 		submitAt = submitAt.Add(d)

@@ -25,7 +25,10 @@ type Span struct {
 // queue → route → predict → (backoff/submit)* → calibrate, plus the
 // prediction and the observed outcome.
 type RequestTrace struct {
-	Device      string        `json:"device"`
+	Device string `json:"device"`
+	// Node names the cluster member that served the request; filled by
+	// the cluster's merged trace view, empty in single-fleet runs.
+	Node        string        `json:"node,omitempty"`
 	Seq         int64         `json:"seq"`
 	Op          string        `json:"op"`
 	LBA         int64         `json:"lba"`

@@ -279,8 +279,36 @@ type (
 	// ClusterRing is the consistent-hash placement ring.
 	ClusterRing = cluster.Ring
 
+	// ClusterTransport carries coordinator→node traffic; swap it to
+	// move between in-process, loopback-RPC and networked clusters.
+	ClusterTransport = cluster.Transport
+	// ClusterHTTPTransport talks to real ssdcheckd processes over
+	// their /v1/node/* API: per-attempt deadlines, bounded retries,
+	// idempotency tokens with an incarnation nonce.
+	ClusterHTTPTransport = cluster.HTTPTransport
+	// ClusterLoopbackTransport is the in-memory network: the same
+	// NodeAPI path on virtual time, with injectable RPC faults.
+	ClusterLoopbackTransport = cluster.LoopbackTransport
+	// ClusterRPCPolicy bounds one RPC: deadline + retry schedule.
+	ClusterRPCPolicy = cluster.RPCPolicy
+	// ClusterRPCStats is one node's transport accounting.
+	ClusterRPCStats = cluster.RPCStats
+	// ClusterNodeAPI is the node-side RPC surface with exactly-once
+	// token dedupe; ssdcheckd mounts it under /v1/node/*.
+	ClusterNodeAPI = cluster.NodeAPI
+	// ClusterBreakerState is a node's circuit-breaker position.
+	ClusterBreakerState = cluster.BreakerState
+	// ClusterBreakerTransition is one seq-stamped breaker edge.
+	ClusterBreakerTransition = cluster.BreakerTransition
+	// ClusterNodeResolver rebuilds node handles during WAL recovery.
+	ClusterNodeResolver = cluster.NodeResolver
+	// FleetDeviceState is a device's exported wire state — what
+	// migrates between nodes on detach/attach.
+	FleetDeviceState = fleet.DeviceState
+
 	// NodeFaultPlan is a seeded set of node-level fault schedules
-	// (heartbeat loss, partition, slow node) for the harness transport.
+	// (heartbeat loss, partition, slow node, RPC drop/duplicate/
+	// delay/timeout) for the harness transports.
 	NodeFaultPlan = faults.NodePlan
 	// NodeFaultSchedule arms one node-level fault window.
 	NodeFaultSchedule = faults.NodeSchedule
@@ -291,6 +319,17 @@ const (
 	NodeFaultHeartbeatLoss = faults.HeartbeatLoss
 	NodeFaultPartition     = faults.Partition
 	NodeFaultSlowNode      = faults.SlowNode
+	NodeFaultRPCDrop       = faults.RPCDrop
+	NodeFaultRPCDuplicate  = faults.RPCDuplicate
+	NodeFaultRPCDelay      = faults.RPCDelay
+	NodeFaultRPCTimeout    = faults.RPCTimeout
+)
+
+// Circuit-breaker states of a cluster member.
+const (
+	ClusterBreakerClosed   = cluster.BreakerClosed
+	ClusterBreakerOpen     = cluster.BreakerOpen
+	ClusterBreakerHalfOpen = cluster.BreakerHalfOpen
 )
 
 // NewClusterHarness stands up an in-process cluster: nodes join the
@@ -299,6 +338,42 @@ const (
 func NewClusterHarness(cfg ClusterHarnessConfig) (*ClusterHarness, error) {
 	return cluster.NewHarness(cfg)
 }
+
+// NewClusterNode builds a cluster member from a fleet config (devices
+// may be empty — they can arrive over attach RPCs).
+var NewClusterNode = cluster.NewNode
+
+// NewClusterRemoteNode names a member living in another process,
+// reachable at a base URL.
+var NewClusterRemoteNode = cluster.NewRemoteNode
+
+// NewClusterRing builds the consistent-hash placement ring; placement
+// is a pure function of (seed, membership, devices).
+var NewClusterRing = cluster.NewRing
+
+// NewClusterHTTPTransport builds the networked transport for real
+// ssdcheckd members.
+var NewClusterHTTPTransport = cluster.NewHTTPTransport
+
+// NewClusterLoopbackTransport builds the in-memory RPC network used by
+// the chaos tests and the partition experiment.
+var NewClusterLoopbackTransport = cluster.NewLoopbackTransport
+
+// NewClusterNodeAPI wraps a node in the token-deduped RPC surface.
+var NewClusterNodeAPI = cluster.NewNodeAPI
+
+// ClusterNodeAPIHandler mounts a NodeAPI as an http.Handler (ssdcheckd
+// serves it under /v1/node/).
+var ClusterNodeAPIHandler = cluster.NodeAPIHandler
+
+// NewClusterCoordinator builds a coordinator over an explicit
+// transport (no harness, no WAL).
+var NewClusterCoordinator = cluster.NewCoordinator
+
+// RecoverClusterCoordinator opens (or creates) a durable coordinator
+// at a WAL directory: an existing log replays snapshot+tail so the
+// coordinator resumes exactly where the dead one stopped.
+var RecoverClusterCoordinator = cluster.RecoverCoordinator
 
 // Fault injection and fleet resilience (beyond the paper): a seedable
 // fault injector that wraps any Device, and the fleet's health state
