@@ -472,3 +472,86 @@ func BenchmarkQDSweep(b *testing.B) {
 		b.ReportMetric(deepest.TailRatio, "pasTailXnoopQD16")
 	}
 }
+
+// benchECVolume stands up a six-device 3+2 predictive volume, with an
+// optional fail-stop on one member to force the reconstruct path.
+func benchECVolume(b *testing.B, failStop bool) (*ssdcheck.Fleet, *ssdcheck.ECVolume) {
+	b.Helper()
+	specs := ssdcheck.FleetPresetDevices(6, nil, 42)
+	if failStop {
+		specs[0].Faults = &ssdcheck.FaultConfig{Schedules: []ssdcheck.FaultSchedule{
+			{Kind: ssdcheck.FaultFailStop, At: 1},
+		}}
+	}
+	m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+		Devices:            specs,
+		Shards:             2,
+		PreconditionFactor: 1.2,
+		Diagnosis:          ssdcheck.FastDiagnosis(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	v, err := ssdcheck.NewECVolume(m, ssdcheck.ECVolumeConfig{
+		ID: "bench", Devices: ids, Data: 3, Parity: 2, Stripes: 16,
+		Seed: 42, Predictive: true,
+	})
+	if err != nil {
+		m.Close()
+		b.Fatal(err)
+	}
+	return m, v
+}
+
+// BenchmarkVolumeRead measures the erasure-coded volume's healthy read
+// path: steering-snapshot refresh, owner lookup, one device read.
+func BenchmarkVolumeRead(b *testing.B) {
+	m, v := benchECVolume(b, false)
+	defer m.Close()
+	chunks := v.Chunks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Read(int64(i) % chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVolumeReconstruct measures a degraded read: the chunk's
+// owner has fail-stopped, so every read decodes the stripe from m
+// donor shards.
+func BenchmarkVolumeReconstruct(b *testing.B) {
+	m, v := benchECVolume(b, true)
+	defer m.Close()
+	// Find a chunk owned by the dead member; its reads reconstruct.
+	target := int64(-1)
+	for c := int64(0); c < v.Chunks(); c++ {
+		res, err := v.Read(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mode == ssdcheck.ECReadReconstructed {
+			target = c
+			break
+		}
+	}
+	if target < 0 {
+		b.Fatal("no chunk landed on the fail-stopped member")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := v.Read(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mode != ssdcheck.ECReadReconstructed {
+			b.Fatalf("read served %v, want reconstruct", res.Mode)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Command bench runs the repository's key benchmarks and writes the
 // parsed results as JSON, so performance numbers can be checked in and
-// compared across revisions (see BENCH_PR7.json and tools/bench.sh).
+// compared across revisions (see BENCH_PR8.json and tools/bench.sh).
 //
 // Usage:
 //
@@ -34,6 +34,8 @@ var keyBenchmarks = []string{
 	"BenchmarkHTTPTransportSubmit",
 	"BenchmarkDiagnosis",
 	"BenchmarkFig03_PrototypeAblation",
+	"BenchmarkVolumeRead",
+	"BenchmarkVolumeReconstruct",
 }
 
 // Result is one benchmark line.
@@ -58,6 +60,11 @@ func main() {
 	benchtime := flag.String("benchtime", "2s", "passed to go test -benchtime")
 	count := flag.Int("count", 1, "passed to go test -count")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "bench: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	pattern := "^(" + strings.Join(keyBenchmarks, "|") + ")$"
 	args := []string{

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ssdcheck"
@@ -27,6 +28,11 @@ func main() {
 	save := flag.String("save", "", "write the extracted features to this JSON file")
 	load := flag.String("load", "", "reuse features from this JSON file instead of diagnosing")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ssdcheck: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if err := run(*preset, *seed, *validate, *requests, *save, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcheck:", err)

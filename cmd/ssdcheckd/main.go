@@ -11,6 +11,10 @@
 //	GET  /v1/devices/{id}/health           one device's health state and transition log
 //	GET  /v1/devices/{id}/model            one device's model-health report and transition log
 //	POST /v1/devices/{id}/rediagnose       force an online re-diagnosis and hot-swap
+//	POST /v1/volumes                       create an erasure-coded volume over fleet devices
+//	GET  /v1/volumes                       list volumes with stats
+//	GET  /v1/volumes/{id}                  one volume's config and stats
+//	POST /v1/volumes/{id}/submit           {"ops":[{"op":"read","chunk":3},{"op":"write","chunk":5}]}
 //	GET  /v1/metrics                       fleet-wide aggregate (JSON)
 //	GET  /v1/traces                        sampled request traces (?device=ID, ?format=chrome)
 //	GET  /metrics                          Prometheus text exposition

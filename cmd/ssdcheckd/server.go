@@ -94,6 +94,11 @@ func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
 		mux.Handle("POST /v1/node/", http.StripPrefix("/v1/node", cluster.NodeAPIHandler(api)))
 	}
 
+	// Erasure-coded volumes: API-created striped m+k volumes over the
+	// fleet's devices, with prediction-steered reads and deferred
+	// parity (internal/ecvol).
+	registerVolumeAPI(mux, newVolumeRegistry(m))
+
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, versionResponse{
 			Info:          buildinfo.Get(),
@@ -103,13 +108,15 @@ func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		devs := m.Devices()
+		// The steering snapshot carries exactly the states this report
+		// counts, without copying counters or histograms.
+		devs := m.SteeringAll()
 		quarantined, fallback := 0, 0
 		for _, d := range devs {
 			if d.Health == fleet.Quarantined {
 				quarantined++
 			}
-			if d.ModelHealth == fleet.ModelFallback || d.ModelHealth == fleet.ModelRediagnosing {
+			if d.Conservative {
 				fallback++
 			}
 		}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ssdcheck/internal/ecvol"
+	"ssdcheck/internal/fleet"
+)
+
+// volumeConfig is the wire form of an erasure-coded volume
+// configuration (POST /v1/volumes). Durations travel as nanoseconds,
+// matching the rest of the API.
+type volumeConfig struct {
+	ID                string   `json:"id"`
+	Devices           []string `json:"devices"`
+	Data              int      `json:"data"`
+	Parity            int      `json:"parity"`
+	ChunkSectors      int      `json:"chunk_sectors,omitempty"`
+	Stripes           int      `json:"stripes"`
+	Seed              uint64   `json:"seed"`
+	Predictive        bool     `json:"predictive"`
+	MaxPendingStripes int      `json:"max_pending_stripes,omitempty"`
+	MaxDeferralNS     int64    `json:"max_deferral_ns,omitempty"`
+}
+
+func (c volumeConfig) toConfig() ecvol.Config {
+	return ecvol.Config{
+		ID:                c.ID,
+		Devices:           c.Devices,
+		Data:              c.Data,
+		Parity:            c.Parity,
+		ChunkSectors:      c.ChunkSectors,
+		Stripes:           c.Stripes,
+		Seed:              c.Seed,
+		Predictive:        c.Predictive,
+		MaxPendingStripes: c.MaxPendingStripes,
+		MaxDeferral:       time.Duration(c.MaxDeferralNS),
+	}
+}
+
+func fromConfig(c ecvol.Config) volumeConfig {
+	return volumeConfig{
+		ID:                c.ID,
+		Devices:           c.Devices,
+		Data:              c.Data,
+		Parity:            c.Parity,
+		ChunkSectors:      c.ChunkSectors,
+		Stripes:           c.Stripes,
+		Seed:              c.Seed,
+		Predictive:        c.Predictive,
+		MaxPendingStripes: c.MaxPendingStripes,
+		MaxDeferralNS:     int64(c.MaxDeferral),
+	}
+}
+
+// volumeView is one volume's GET representation.
+type volumeView struct {
+	Config volumeConfig `json:"config"`
+	Chunks int64        `json:"chunks"`
+	Stats  ecvol.Stats  `json:"stats"`
+}
+
+// volumeOp is one logical operation in a volume submit batch.
+type volumeOp struct {
+	Op    string `json:"op"` // "read", "write" or "flush"
+	Chunk int64  `json:"chunk,omitempty"`
+}
+
+type volumeSubmitBody struct {
+	Ops []volumeOp `json:"ops"`
+}
+
+// volumeOpResult mirrors one op: reads carry value/mode, writes carry
+// value/degraded, failures carry error with the zero value elsewhere.
+type volumeOpResult struct {
+	Op        string          `json:"op"`
+	Chunk     int64           `json:"chunk"`
+	Value     uint64          `json:"value,omitempty"`
+	Mode      *ecvol.ReadMode `json:"mode,omitempty"`
+	LatencyNS time.Duration   `json:"latency_ns"`
+	Degraded  bool            `json:"degraded,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// volumeRegistry owns the daemon's erasure-coded volumes. Creation is
+// API-driven; volumes live until the daemon exits.
+type volumeRegistry struct {
+	mu   sync.Mutex
+	fl   *fleet.Manager
+	vols map[string]*ecvol.Volume
+	// order preserves creation order for GET /v1/volumes.
+	order []string
+}
+
+func newVolumeRegistry(fl *fleet.Manager) *volumeRegistry {
+	return &volumeRegistry{fl: fl, vols: make(map[string]*ecvol.Volume)}
+}
+
+// errVolumeExists marks a duplicate-ID creation attempt (409).
+var errVolumeExists = errors.New("volume already exists")
+
+func (vr *volumeRegistry) create(cfg ecvol.Config) (*ecvol.Volume, error) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	// Pre-resolve the defaulted ID for the duplicate check.
+	if cfg.ID == "" {
+		cfg.ID = "ecvol"
+	}
+	if _, ok := vr.vols[cfg.ID]; ok {
+		return nil, fmt.Errorf("volume %q: %w", cfg.ID, errVolumeExists)
+	}
+	v, err := ecvol.New(vr.fl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vr.vols[cfg.ID] = v
+	vr.order = append(vr.order, cfg.ID)
+	return v, nil
+}
+
+func (vr *volumeRegistry) get(id string) (*ecvol.Volume, bool) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	v, ok := vr.vols[id]
+	return v, ok
+}
+
+func (vr *volumeRegistry) list() []volumeView {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	out := make([]volumeView, 0, len(vr.order))
+	for _, id := range vr.order {
+		out = append(out, view(vr.vols[id]))
+	}
+	return out
+}
+
+func view(v *ecvol.Volume) volumeView {
+	return volumeView{Config: fromConfig(v.Config()), Chunks: v.Chunks(), Stats: v.Status()}
+}
+
+// registerVolumeAPI wires the erasure-coded volume endpoints onto the
+// daemon mux.
+func registerVolumeAPI(mux *http.ServeMux, vr *volumeRegistry) {
+	mux.HandleFunc("POST /v1/volumes", func(w http.ResponseWriter, r *http.Request) {
+		var body volumeConfig
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		v, err := vr.create(body.toConfig())
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusCreated, view(v))
+		case errors.Is(err, errVolumeExists):
+			writeError(w, http.StatusConflict, err)
+		default:
+			// Unknown member devices and invalid geometry are both
+			// configuration errors on the caller's side.
+			writeError(w, http.StatusBadRequest, err)
+		}
+	})
+
+	mux.HandleFunc("GET /v1/volumes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"volumes": vr.list()})
+	})
+
+	mux.HandleFunc("GET /v1/volumes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := vr.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown volume %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, view(v))
+	})
+
+	mux.HandleFunc("POST /v1/volumes/{id}/submit", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := vr.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown volume %q", r.PathValue("id")))
+			return
+		}
+		var body volumeSubmitBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if len(body.Ops) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty op batch"))
+			return
+		}
+		results := make([]volumeOpResult, 0, len(body.Ops))
+		for i, op := range body.Ops {
+			out := volumeOpResult{Op: op.Op, Chunk: op.Chunk}
+			switch op.Op {
+			case "read":
+				res, err := v.Read(op.Chunk)
+				if err != nil {
+					out.Error = err.Error()
+				} else {
+					out.Value, out.LatencyNS = res.Value, res.Latency
+					mode := res.Mode
+					out.Mode = &mode
+				}
+			case "write":
+				res, err := v.Write(op.Chunk)
+				if err != nil {
+					out.Error = err.Error()
+				} else {
+					out.Value, out.LatencyNS, out.Degraded = res.Value, res.Latency, res.Degraded
+				}
+			case "flush":
+				if err := v.Flush(); err != nil {
+					out.Error = err.Error()
+				}
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown op %q (want read, write or flush)", i, op.Op))
+				return
+			}
+			results = append(results, out)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	})
+}

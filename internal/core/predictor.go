@@ -221,17 +221,7 @@ func (p *Predictor) Predict(req blockdev.Request, now simclock.Time) Prediction 
 
 	switch req.Op {
 	case blockdev.Read:
-		if v.readTrigger && v.bufCount > 0 {
-			eet := v.flushOverhead.Value() + p.params.NLReadBase
-			if v.predictGCOnFlush(p.params.GCQuantile) {
-				eet += v.gcOverhead.Value()
-			}
-			return Prediction{HL: eet > p.readThr, EET: eet}
-		}
-		eet := p.params.NLReadBase
-		if v.ebt.After(now) {
-			eet += v.ebt.Sub(now)
-		}
+		eet := p.readEET(v, now)
 		return Prediction{HL: eet > p.readThr, EET: eet}
 
 	case blockdev.Write:
@@ -256,6 +246,45 @@ func (p *Predictor) Predict(req blockdev.Request, now simclock.Time) Prediction 
 		return Prediction{HL: eet > p.writeThr, EET: eet}
 	}
 	return Prediction{HL: false, EET: p.params.NLWriteBase}
+}
+
+// readEET is the read branch of the prediction engine for one volume
+// model: the flush-drain estimate when a read would trigger a buffer
+// flush (plus GC when the detector is armed), otherwise the baseline
+// plus whatever busy time remains on the volume's media.
+func (p *Predictor) readEET(v *volumeModel, now simclock.Time) time.Duration {
+	if v.readTrigger && v.bufCount > 0 {
+		eet := v.flushOverhead.Value() + p.params.NLReadBase
+		if v.predictGCOnFlush(p.params.GCQuantile) {
+			eet += v.gcOverhead.Value()
+		}
+		return eet
+	}
+	eet := p.params.NLReadBase
+	if v.ebt.After(now) {
+		eet += v.ebt.Sub(now)
+	}
+	return eet
+}
+
+// DeviceReadRisk is the device-level read outlook: the worst (highest
+// EET) prediction for a nominal one-page read across every internal
+// volume at instant now. Fleet-level schedulers use it to rank whole
+// devices — a GC or flush window pending on any internal volume makes
+// the device a poor read target regardless of which LBA the next read
+// lands on. Like Predict it is read-only and allocation-free, so
+// callers may probe freely.
+func (p *Predictor) DeviceReadRisk(now simclock.Time) Prediction {
+	if !p.enabled {
+		return Prediction{HL: false, EET: p.params.NLReadBase}
+	}
+	var worst time.Duration
+	for _, v := range p.vols {
+		if eet := p.readEET(v, now); eet > worst {
+			worst = eet
+		}
+	}
+	return Prediction{HL: worst > p.readThr, EET: worst}
 }
 
 // PredictReadInOrder predicts the latency class of a read *in its

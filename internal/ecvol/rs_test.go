@@ -1,0 +1,136 @@
+package ecvol
+
+import (
+	"testing"
+
+	"ssdcheck/internal/simclock"
+)
+
+// combinations calls fn with every size-r subset of [0, n).
+func combinations(n, r int, fn func([]int)) {
+	idx := make([]int, r)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == r {
+			fn(idx)
+			return
+		}
+		for i := start; i <= n-(r-depth); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestMul64MatchesBytewise: mul64 is gfMul applied to each byte lane.
+func TestMul64MatchesBytewise(t *testing.T) {
+	rng := simclock.NewRNG(1)
+	for iter := 0; iter < 2000; iter++ {
+		c := byte(rng.Uint64())
+		x := rng.Uint64()
+		got := mul64(c, x)
+		var want uint64
+		for i := 0; i < 64; i += 8 {
+			want |= uint64(gfMul(c, byte(x>>i))) << i
+		}
+		if got != want {
+			t.Fatalf("mul64(%#x, %#x) = %#x, want %#x", c, x, got, want)
+		}
+	}
+}
+
+// TestMul64Linear: GF multiplication distributes over XOR, the
+// property the whole code rests on.
+func TestMul64Linear(t *testing.T) {
+	rng := simclock.NewRNG(2)
+	for iter := 0; iter < 2000; iter++ {
+		c := byte(rng.Uint64())
+		x, y := rng.Uint64(), rng.Uint64()
+		if mul64(c, x^y) != mul64(c, x)^mul64(c, y) {
+			t.Fatalf("mul64(%#x, ·) not linear at %#x, %#x", c, x, y)
+		}
+	}
+}
+
+// TestCodecAllErasures: for several geometries, every m-subset of the
+// m+k shards decodes back to the original data — the MDS property the
+// systematic Vandermonde construction guarantees.
+func TestCodecAllErasures(t *testing.T) {
+	for _, geo := range []struct{ m, k int }{{1, 1}, {2, 1}, {3, 2}, {4, 3}, {5, 4}} {
+		cod, err := newCodec(geo.m, geo.k)
+		if err != nil {
+			t.Fatalf("%d+%d: %v", geo.m, geo.k, err)
+		}
+		rng := simclock.NewRNG(uint64(geo.m*100 + geo.k))
+		data := make([]uint64, geo.m)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		parity := make([]uint64, geo.k)
+		cod.encode(data, parity)
+		shard := func(s int) uint64 {
+			if s < geo.m {
+				return data[s]
+			}
+			return parity[s-geo.m]
+		}
+		combinations(geo.m+geo.k, geo.m, func(slots []int) {
+			vals := make([]uint64, geo.m)
+			for i, s := range slots {
+				vals[i] = shard(s)
+			}
+			got, err := cod.decode(append([]int(nil), slots...), vals)
+			if err != nil {
+				t.Fatalf("%d+%d slots %v: %v", geo.m, geo.k, slots, err)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("%d+%d slots %v: data[%d] = %#x, want %#x",
+						geo.m, geo.k, slots, i, got[i], data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRejects: bad geometries and bad decode inputs fail loudly.
+func TestCodecRejects(t *testing.T) {
+	if _, err := newCodec(0, 1); err == nil {
+		t.Error("0+1 accepted")
+	}
+	if _, err := newCodec(200, 100); err == nil {
+		t.Error("300-shard geometry accepted")
+	}
+	cod, err := newCodec(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cod.decode([]int{0, 1}, []uint64{1, 2}); err == nil {
+		t.Error("short decode accepted")
+	}
+	if _, err := cod.decode([]int{0, 1, 9}, []uint64{1, 2, 3}); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := cod.decode([]int{0, 1, 1}, []uint64{1, 2, 2}); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+}
+
+// TestFingerprintDistinct: fingerprints differ across chunks, versions
+// and seeds (a smoke test of the mixer, not a cryptographic claim).
+func TestFingerprintDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for chunk := uint64(0); chunk < 64; chunk++ {
+		for ver := uint32(0); ver < 8; ver++ {
+			fp := Fingerprint(42, chunk, ver)
+			if seen[fp] {
+				t.Fatalf("fingerprint collision at chunk %d version %d", chunk, ver)
+			}
+			seen[fp] = true
+		}
+	}
+	if Fingerprint(1, 0, 0) == Fingerprint(2, 0, 0) {
+		t.Error("seed does not separate fingerprints")
+	}
+}

@@ -269,7 +269,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(Names()) != 19 {
+	if len(Names()) != 20 {
 		t.Fatalf("registry has %d entries", len(Names()))
 	}
 	var buf bytes.Buffer
@@ -423,6 +423,51 @@ func TestClusterFailoverShape(t *testing.T) {
 	}
 	out := renderNonEmpty(t, r)
 	if !strings.Contains(out, "byte-identical") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestECVolShape(t *testing.T) {
+	r := ECVol(small())
+	if r.Devices != 6 || r.Data != 3 || r.Parity != 2 || len(r.Variants) != 2 {
+		t.Fatalf("shape: %+v", r)
+	}
+	pred, obl := r.Variants[0], r.Variants[1]
+	if pred.Name != "predictive" || obl.Name != "oblivious" {
+		t.Fatalf("variant order: %q, %q", pred.Name, obl.Name)
+	}
+	// Identical workloads: both volumes must have served the same ops.
+	if pred.Reads != obl.Reads || pred.Reads+pred.Writes != int64(r.Ops) {
+		t.Fatalf("op accounting: pred %d+%d, obl %d+%d, want %d total",
+			pred.Reads, pred.Writes, obl.Reads, obl.Writes, r.Ops)
+	}
+	// The steering signal must actually fire, and only predictively.
+	if pred.SteeredReads == 0 {
+		t.Fatal("predictive volume never steered a read")
+	}
+	if obl.SteeredReads != 0 {
+		t.Fatalf("oblivious volume steered %d reads", obl.SteeredReads)
+	}
+	// The fail-stopped member forces reconstruction in both variants.
+	if pred.ReconstructReads == 0 || obl.ReconstructReads == 0 {
+		t.Fatalf("fail-stop never forced reconstruction: pred %d, obl %d",
+			pred.ReconstructReads, obl.ReconstructReads)
+	}
+	// Deferred parity stays inside the default budget.
+	if pred.MaxPendingParity > 8 {
+		t.Fatalf("pending parity %d exceeded the deferral budget", pred.MaxPendingParity)
+	}
+	if pred.DeferredFlushes == 0 {
+		t.Fatal("predictive volume never deferred a parity flush")
+	}
+	if !r.IntegrityOK {
+		t.Fatal("a read returned a wrong value")
+	}
+	if !r.PredictiveWins {
+		t.Fatalf("predictive p99.9 %v did not beat oblivious %v", pred.ReadP999, obl.ReadP999)
+	}
+	out := renderNonEmpty(t, r)
+	if !strings.Contains(out, "predictive wins p99.9") || !strings.Contains(out, "all reads verified") {
 		t.Fatalf("render:\n%s", out)
 	}
 }

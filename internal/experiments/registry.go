@@ -30,6 +30,7 @@ var Registry = map[string]Runner{
 	"qdsweep":   func(o Opts) Report { return QDSweep(o) },
 	"table2":    func(o Opts) Report { return Table2(o) },
 	"table3":    func(o Opts) Report { return Table3(o) },
+	"ecvol":     func(o Opts) Report { return ECVol(o) },
 	"failover":  func(o Opts) Report { return ClusterFailover(o) },
 	"partition": func(o Opts) Report { return Partition(o) },
 }

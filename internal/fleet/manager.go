@@ -387,7 +387,7 @@ func (m *Manager) Metrics() Metrics {
 		md.flushObsLocked()
 		devCounters := md.counters()
 		c = c.Add(devCounters)
-		inFallback := md.modelHealth == ModelFallback || md.modelHealth == ModelRediagnosing
+		inFallback := md.modelHealth.Conservative()
 		if inFallback {
 			fallback++
 		}

@@ -58,6 +58,16 @@ func (h ModelHealth) String() string {
 	}
 }
 
+// Conservative reports whether a device in this state serves
+// conservative static always-NL predictions instead of live model
+// output: fallback, and rediagnosing (the rebuilt model is not sworn in
+// until its probes validate). Schedulers should stop trusting the
+// predictions of a conservative device; the daemon's health report and
+// the fleet metrics count these states the same way.
+func (h ModelHealth) Conservative() bool {
+	return h == ModelFallback || h == ModelRediagnosing
+}
+
 // MarshalJSON renders the state as its string name.
 func (h ModelHealth) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + h.String() + `"`), nil

@@ -72,6 +72,8 @@ type managedDevice struct {
 	model    core.ModelState
 	clock    simclock.Time
 	driftRep core.DriftReport
+	readRisk core.Prediction // device-level nominal-read outlook
+	hlStreak int             // consecutive observed-HL/timeout completions
 }
 
 // init preconditions and diagnoses the device, then builds its
@@ -128,7 +130,7 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 	// Fallback devices serve conservative predictions; only the owning
 	// shard mutates modelHealth, so this capture stays valid for the
 	// whole request.
-	fallback := md.modelHealth == ModelFallback || md.modelHealth == ModelRediagnosing
+	fallback := md.modelHealth.Conservative()
 	var spans []obs.Span
 	span := func(name string, start, end simclock.Time) {
 		if sampled {
@@ -243,6 +245,11 @@ func (md *managedDevice) process(req blockdev.Request, cfg Config) Result {
 		md.stats.vals[statFallback]++
 		md.fallbackServed++
 	}
+	if res.ObservedHL || timedOut {
+		md.hlStreak++
+	} else {
+		md.hlStreak = 0
+	}
 	md.noteOutcomeLocked(nil, timedOut, cfg.Health)
 	md.noteModelLocked(drift, cfg.Model)
 	rediagActive := md.modelHealth == ModelRediagnosing
@@ -296,6 +303,7 @@ func (md *managedDevice) publishLocked() {
 	md.model = md.pr.State(0)
 	md.clock = md.now
 	md.driftRep = md.pr.Drift()
+	md.readRisk = md.pr.DeviceReadRisk(md.now)
 }
 
 // bindGauges registers (or re-binds, after a move between managers)

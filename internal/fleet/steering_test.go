@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/faults"
+)
+
+// TestSteeringSnapshot: the accessor mirrors the cached per-device
+// state — membership order, availability tied to quarantine, and the
+// observed-HL streak opening under a latency storm.
+func TestSteeringSnapshot(t *testing.T) {
+	devs := []DeviceSpec{
+		{ID: "dev-a", Preset: "A", Seed: 11},
+		{ID: "dev-b", Preset: "A", Seed: 22, Faults: &faults.Config{Schedules: []faults.Schedule{
+			{Kind: faults.LatencyStorm, At: 5, Factor: 32, Count: 200},
+		}}},
+		{ID: "dev-c", Preset: "A", Seed: 33, Faults: &faults.Config{Schedules: []faults.Schedule{
+			{Kind: faults.FailStop, At: 1},
+		}}},
+	}
+	m, err := New(testConfig(devs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	all := m.SteeringAll()
+	if len(all) != 3 {
+		t.Fatalf("SteeringAll returned %d devices, want 3", len(all))
+	}
+	for i, d := range devs {
+		if all[i].ID != d.ID {
+			t.Errorf("snapshot %d is %q, want membership order %q", i, all[i].ID, d.ID)
+		}
+		if !all[i].Available {
+			t.Errorf("%s unavailable before any traffic", d.ID)
+		}
+	}
+
+	// Drive enough requests to fire both fault schedules.
+	for i := 0; i < 40; i++ {
+		batch := make([]Request, 0, len(devs))
+		for _, d := range devs {
+			batch = append(batch, Request{DeviceID: d.ID, Op: blockdev.Read, LBA: int64(i) * 8, Sectors: 8})
+		}
+		if _, err := m.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if s, ok := m.Steering("dev-b"); !ok || s.HLStreak == 0 {
+		t.Errorf("storming device has no HL streak: %+v (ok=%v)", s, ok)
+	} else if !s.Risky() {
+		t.Errorf("storming device not risky: %+v", s)
+	}
+	if s, ok := m.Steering("dev-c"); !ok || s.Available || s.Health != Quarantined {
+		t.Errorf("fail-stopped device still available: %+v (ok=%v)", s, ok)
+	}
+	if s, ok := m.Steering("dev-a"); !ok || !s.Available {
+		t.Errorf("healthy device unavailable: %+v (ok=%v)", s, ok)
+	}
+	if _, ok := m.Steering("ghost"); ok {
+		t.Error("unknown device returned a snapshot")
+	}
+}

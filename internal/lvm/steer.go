@@ -1,0 +1,83 @@
+package lvm
+
+import (
+	"errors"
+	"fmt"
+
+	"ssdcheck/internal/fleet"
+)
+
+// ErrNoWriteTarget reports that every candidate device is out of
+// service (quarantined).
+var ErrNoWriteTarget = errors.New("lvm: no available write target")
+
+// WriteSteerer places tenant writes across a group of fleet devices
+// using the per-device steering snapshots (HL prediction, model
+// health, observed-HL streaks): the paper's prediction-aware
+// scheduling use case applied at the volume-manager layer. Selection
+// is deterministic — a pure function of the fleet's cached steering
+// state and the steerer's own cursor — so identical runs place
+// identical writes.
+//
+// Policy, in order:
+//   - quarantined devices are never selected;
+//   - the lowest-risk tier wins (clean < conservative-model <
+//     predicted-HL/storming, summed);
+//   - ties rotate round-robin from the cursor, spreading load instead
+//     of pinning the first healthy member.
+type WriteSteerer struct {
+	fl      *fleet.Manager
+	members []string
+	cursor  int
+}
+
+// NewWriteSteerer builds a steerer over the given fleet members. Every
+// member must exist in the fleet.
+func NewWriteSteerer(fl *fleet.Manager, members []string) (*WriteSteerer, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("lvm: steerer needs at least one member")
+	}
+	for _, id := range members {
+		if _, ok := fl.Device(id); !ok {
+			return nil, fmt.Errorf("lvm: steerer member %q: %w", id, fleet.ErrUnknownDevice)
+		}
+	}
+	return &WriteSteerer{fl: fl, members: append([]string(nil), members...)}, nil
+}
+
+// score ranks a device for writes; lower is better.
+func score(s fleet.SteeringSnapshot) int {
+	n := 0
+	if s.Conservative {
+		n++
+	}
+	if s.Risky() {
+		n += 2
+	}
+	return n
+}
+
+// Pick returns the device that should take the next write, or
+// ErrNoWriteTarget when every member is quarantined.
+func (w *WriteSteerer) Pick() (string, error) {
+	best, bestScore := -1, int(^uint(0)>>1)
+	n := len(w.members)
+	for off := 0; off < n; off++ {
+		i := (w.cursor + off) % n
+		snap, ok := w.fl.Steering(w.members[i])
+		if !ok || !snap.Available {
+			continue
+		}
+		if s := score(snap); s < bestScore {
+			best, bestScore = i, s
+			if s == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return "", ErrNoWriteTarget
+	}
+	w.cursor = (best + 1) % n
+	return w.members[best], nil
+}

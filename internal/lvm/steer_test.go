@@ -1,0 +1,152 @@
+package lvm
+
+import (
+	"errors"
+	"testing"
+
+	"ssdcheck/internal/blockdev"
+	"ssdcheck/internal/faults"
+	"ssdcheck/internal/fleet"
+)
+
+// steerFleet builds a three-device fleet with a tight health policy;
+// dev-b eats a transient burst long enough to exhaust retries and be
+// quarantined, then recovers through rejection-triggered probes.
+func steerFleet(t *testing.T) *fleet.Manager {
+	t.Helper()
+	m, err := fleet.New(fleet.Config{
+		Devices: []fleet.DeviceSpec{
+			{ID: "dev-a", Preset: "A", Seed: 11},
+			// A burst long enough to exhaust retries into quarantine
+			// (~4 attempts per request), short enough that the
+			// rejection-triggered probes drain the remainder and pass
+			// within the test's traffic budget.
+			{ID: "dev-b", Preset: "A", Seed: 22, Faults: &faults.Config{Schedules: []faults.Schedule{
+				{Kind: faults.Transient, At: 5, Count: 28},
+			}}},
+			{ID: "dev-c", Preset: "A", Seed: 33},
+		},
+		Shards:    2,
+		Diagnosis: fleet.FastDiagnosis(),
+		Health: fleet.HealthPolicy{
+			DegradeAfterErrors:    2,
+			QuarantineAfterErrors: 4,
+			ProbeAfterRejections:  8,
+			ProbeRequests:         4,
+			RecoverAfterOK:        4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// runSteering drives the quarantine-recovery scenario and returns the
+// full pick sequence plus how many picks happened while dev-b was
+// quarantined.
+func runSteering(t *testing.T) (picks []string, picksWhileOut int) {
+	t.Helper()
+	m := steerFleet(t)
+	st, err := NewWriteSteerer(m, []string{"dev-a", "dev-b", "dev-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submit := func(id string, i int) {
+		req := []fleet.Request{{DeviceID: id, Op: blockdev.Write, LBA: int64(i%128) * 8, Sectors: 8}}
+		if _, err := m.SubmitBatch(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 200; i++ {
+		id, err := st.Pick()
+		if err != nil {
+			t.Fatalf("pick %d: %v", i, err)
+		}
+		picks = append(picks, id)
+		if snap, ok := m.Steering("dev-b"); ok && !snap.Available {
+			picksWhileOut++
+			if id == "dev-b" {
+				t.Fatalf("pick %d selected quarantined dev-b", i)
+			}
+		}
+		submit(id, i)
+		// Keep addressing dev-b regardless of the steerer: its faulted
+		// requests drive it into quarantine, and the rejections it
+		// bounces afterwards trigger the recovery probe.
+		submit("dev-b", i)
+	}
+	return picks, picksWhileOut
+}
+
+// TestSteererQuarantine: a quarantined device is never picked (the
+// in-loop assertion), and once its recovery probe passes it rejoins
+// the rotation.
+func TestSteererQuarantine(t *testing.T) {
+	picks, picksWhileOut := runSteering(t)
+	if picksWhileOut == 0 {
+		t.Fatal("dev-b never quarantined; fault schedule did not fire")
+	}
+	readmitted := false
+	for _, id := range picks[len(picks)/2:] {
+		if id == "dev-b" {
+			readmitted = true
+			break
+		}
+	}
+	if !readmitted {
+		t.Fatal("dev-b never re-admitted after recovery")
+	}
+}
+
+// TestSteererDeterministic: the whole quarantine-recovery-readmission
+// sequence of picks is identical across runs.
+func TestSteererDeterministic(t *testing.T) {
+	p1, _ := runSteering(t)
+	p2, _ := runSteering(t)
+	if len(p1) != len(p2) {
+		t.Fatalf("pick counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pick %d differs: %q vs %q", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestSteererAllOut: with every member quarantined, Pick fails typed.
+func TestSteererAllOut(t *testing.T) {
+	m, err := fleet.New(fleet.Config{
+		Devices: []fleet.DeviceSpec{
+			{ID: "solo", Preset: "A", Seed: 44, Faults: &faults.Config{Schedules: []faults.Schedule{
+				{Kind: faults.FailStop, At: 1},
+			}}},
+		},
+		Shards:    1,
+		Diagnosis: fleet.FastDiagnosis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := NewWriteSteerer(m, []string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the device.
+	if _, err := m.SubmitBatch([]fleet.Request{{DeviceID: "solo", Op: blockdev.Write, LBA: 0, Sectors: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Pick(); !errors.Is(err, ErrNoWriteTarget) {
+		t.Fatalf("all-quarantined pick: %v", err)
+	}
+	if _, err := NewWriteSteerer(m, []string{"ghost"}); !errors.Is(err, fleet.ErrUnknownDevice) {
+		t.Fatalf("unknown member: %v", err)
+	}
+	if _, err := NewWriteSteerer(m, nil); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ssdcheck/internal/blockdev"
 	"ssdcheck/internal/cluster"
 	"ssdcheck/internal/core"
+	"ssdcheck/internal/ecvol"
 	"ssdcheck/internal/extract"
 	"ssdcheck/internal/faults"
 	"ssdcheck/internal/fleet"
@@ -536,3 +537,50 @@ var RunHybrid = nvm.Run
 // CalibrateHybrid derives a hybrid configuration whose pacing and drain
 // rate match the device, as the Fig. 15 experiments require.
 var CalibrateHybrid = nvm.CalibratedConfig
+
+// Prediction-aware erasure-coded volume (beyond the paper): an m+k
+// Reed-Solomon stripe over fleet devices that steers reads away from
+// predicted-HL members (reconstruct-over-wait) and defers parity
+// writes into the slow windows the predictor announces. See
+// internal/ecvol, DESIGN.md §8 and examples/ecvol.
+type (
+	// ECVolume is the striped, prediction-aware volume.
+	ECVolume = ecvol.Volume
+	// ECVolumeConfig parameterizes geometry, placement seed and the
+	// parity-deferral budget.
+	ECVolumeConfig = ecvol.Config
+	// ECVolumeStats is a volume's cumulative counter snapshot.
+	ECVolumeStats = ecvol.Stats
+	// ECReadResult is one served chunk read (value, mode, latency).
+	ECReadResult = ecvol.ReadResult
+	// ECWriteResult is one acknowledged chunk write.
+	ECWriteResult = ecvol.WriteResult
+	// ECReadMode says how a read was served: direct, steered or
+	// reconstructed.
+	ECReadMode = ecvol.ReadMode
+	// FleetSteeringSnapshot is the read-only per-device prediction and
+	// health view the volume (and any other steering layer) consumes.
+	FleetSteeringSnapshot = fleet.SteeringSnapshot
+)
+
+// The read-service modes.
+const (
+	ECReadDirect        = ecvol.Direct
+	ECReadSteered       = ecvol.Steered
+	ECReadReconstructed = ecvol.Reconstructed
+)
+
+// Erasure-volume failure sentinels.
+var (
+	// ErrECStripeLost reports fewer readable shards than data shards.
+	ErrECStripeLost = ecvol.ErrStripeLost
+	// ErrECOutOfRange rejects chunk indexes beyond the volume.
+	ErrECOutOfRange = ecvol.ErrOutOfRange
+)
+
+// NewECVolume builds an erasure-coded volume over fl's devices.
+func NewECVolume(fl *Fleet, cfg ECVolumeConfig) (*ECVolume, error) { return ecvol.New(fl, cfg) }
+
+// ECFingerprint is the deterministic chunk payload model: the value a
+// verified read of (seed, chunk, version) must return.
+var ECFingerprint = ecvol.Fingerprint
