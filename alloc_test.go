@@ -54,6 +54,77 @@ func TestSubmitTaggedZeroAlloc(t *testing.T) {
 	}
 }
 
+// allocFleet stands up a small fleet for the ingress alloc guards.
+func allocFleet(t *testing.T, nDevices, shards int) *ssdcheck.Fleet {
+	t.Helper()
+	m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+		Devices:            ssdcheck.FleetPresetDevices(nDevices, []string{"A"}, 77),
+		Shards:             shards,
+		PreconditionFactor: 1.2,
+		Diagnosis:          ssdcheck.FastDiagnosis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// TestFleetSubmitZeroAlloc pins the fleet's submit→result round trips
+// to the pooled-ingress contract: the single-request fast path and the
+// SubmitBatchInto batch path allocate nothing in steady state (the
+// operation, fan-out table and result storage all come from pools and
+// recycle after the round trip), and the convenience SubmitBatch pays
+// exactly its documented result-slice allocation and nothing more. A
+// regression here fails tests instead of only drifting B/op in the
+// checked-in benchmarks. Both single- and multi-shard fleets are
+// pinned, so the per-shard fan-out stays on the hook too.
+func TestFleetSubmitZeroAlloc(t *testing.T) {
+	for _, tc := range []struct{ devices, shards int }{
+		{1, 1},
+		{4, 2},
+	} {
+		m := allocFleet(t, tc.devices, tc.shards)
+		ids := m.DeviceIDs()
+
+		i := 0
+		if n := testing.AllocsPerRun(500, func() {
+			if _, err := m.Submit(ids[i%len(ids)], ssdcheck.Read, int64(i%1000)*8, 8); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}); n != 0 {
+			t.Errorf("%d devices / %d shards: Submit allocates %.2f objects per request, want 0",
+				tc.devices, tc.shards, n)
+		}
+
+		batch := make([]ssdcheck.FleetRequest, 16)
+		out := make([]ssdcheck.FleetResult, len(batch))
+		for j := range batch {
+			batch[j] = ssdcheck.FleetRequest{
+				DeviceID: ids[j%len(ids)], Op: ssdcheck.Read, LBA: int64(j) * 8, Sectors: 8,
+			}
+		}
+		if n := testing.AllocsPerRun(500, func() {
+			if err := m.SubmitBatchInto(batch, out); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%d devices / %d shards: SubmitBatchInto allocates %.2f objects per batch, want 0",
+				tc.devices, tc.shards, n)
+		}
+
+		if n := testing.AllocsPerRun(500, func() {
+			if _, err := m.SubmitBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}); n > 1 {
+			t.Errorf("%d devices / %d shards: SubmitBatch allocates %.2f objects per batch, want only the result slice",
+				tc.devices, tc.shards, n)
+		}
+	}
+}
+
 // TestPredictZeroAlloc pins Predictor.Predict to zero allocations.
 func TestPredictZeroAlloc(t *testing.T) {
 	cfg, err := ssdcheck.Preset("A", 11)

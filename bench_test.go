@@ -19,6 +19,7 @@ import (
 
 	"ssdcheck"
 	"ssdcheck/internal/experiments"
+	"ssdcheck/internal/obs"
 )
 
 // benchOpts keeps every experiment benchmark at a scale where a full
@@ -198,8 +199,11 @@ func BenchmarkFig15_HybridPAS(b *testing.B) {
 // BenchmarkFleetSubmit measures aggregate fleet throughput
 // (predictions per wall second across a 16-device mixed-preset fleet)
 // as the shard count sweeps 1/2/4/8. Each device is fed from its own
-// goroutine in batches, so throughput should scale near-linearly with
-// shards on a multi-core runner.
+// goroutine in batches through the allocation-free SubmitBatchInto
+// round trip, so throughput should scale near-linearly with shards on
+// a multi-core runner (on a single-core runner the sweep measures the
+// ingress path's overhead instead: every shard count is capacity-bound
+// on the same core).
 func BenchmarkFleetSubmit(b *testing.B) {
 	const nDevices = 16
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -225,15 +229,19 @@ func BenchmarkFleetSubmit(b *testing.B) {
 				}
 			}
 
+			const chunk = 64
+			outs := make([][]ssdcheck.FleetResult, len(ids))
+			for i := range outs {
+				outs[i] = make([]ssdcheck.FleetResult, chunk)
+			}
 			perDev := b.N/nDevices + 1
 			b.ResetTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
 			for i := range ids {
 				wg.Add(1)
-				go func(stream []ssdcheck.FleetRequest) {
+				go func(stream []ssdcheck.FleetRequest, out []ssdcheck.FleetResult) {
 					defer wg.Done()
-					const chunk = 64
 					for sent := 0; sent < perDev; sent += chunk {
 						n := chunk
 						if left := perDev - sent; left < n {
@@ -243,12 +251,12 @@ func BenchmarkFleetSubmit(b *testing.B) {
 						if off+n > len(stream) {
 							off = 0
 						}
-						if _, err := m.SubmitBatch(stream[off : off+n]); err != nil {
+						if err := m.SubmitBatchInto(stream[off:off+n], out[:n]); err != nil {
 							b.Error(err)
 							return
 						}
 					}
-				}(streams[i])
+				}(streams[i], outs[i])
 			}
 			wg.Wait()
 			elapsed := time.Since(start).Seconds()
@@ -256,6 +264,119 @@ func BenchmarkFleetSubmit(b *testing.B) {
 			b.ReportMetric(total/elapsed, "predictions/s")
 			b.ReportMetric(total/float64(b.N), "reqs/op")
 		})
+	}
+}
+
+// BenchmarkFleetManyClients is the end-to-end ingress headline: N
+// client goroutines hammer an M-device fleet with mixed batches (every
+// client touches every device, so batches fan out across all shards),
+// reporting aggregate predictions/s and the p99 submit round-trip
+// latency measured through an obs histogram.
+//
+// Two load models: closed-loop clients submit back to back (peak
+// throughput — the plateau this PR exists to break), open-loop clients
+// pace batches against a fixed wall-clock arrival schedule independent
+// of completions (the paper's timeliness lens: p99 submit latency at a
+// fixed offered load, arrivals don't slow down because the fleet
+// does).
+func BenchmarkFleetManyClients(b *testing.B) {
+	const (
+		nDevices = 16
+		shards   = 8
+		batch    = 64
+		// Aggregate open-loop offered load, predictions per second.
+		// Low enough to be sustainable on a small runner, high enough
+		// that queueing (not pacing sleep) dominates the p99.
+		openRate = 500_000
+	)
+	for _, mode := range []string{"closed", "open"} {
+		for _, clients := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("mode=%s/clients=%d", mode, clients), func(b *testing.B) {
+				m, err := ssdcheck.NewFleet(ssdcheck.FleetConfig{
+					Devices:            ssdcheck.FleetPresetDevices(nDevices, nil, 42),
+					Shards:             shards,
+					PreconditionFactor: 1.2,
+					Diagnosis:          ssdcheck.FastDiagnosis(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Close()
+
+				ids := m.DeviceIDs()
+				// Per-client request streams: round-robin over every
+				// device so each batch exercises the full shard fan-out.
+				streams := make([][]ssdcheck.FleetRequest, clients)
+				for c := range streams {
+					reqs := ssdcheck.GenerateWorkload(ssdcheck.RWMixed, 1<<20, uint64(7000+c), 4096)
+					stream := make([]ssdcheck.FleetRequest, len(reqs))
+					for j, r := range reqs {
+						stream[j] = ssdcheck.FleetRequest{
+							DeviceID: ids[(c+j)%len(ids)], Op: r.Op, LBA: r.LBA, Sectors: r.Sectors,
+						}
+					}
+					streams[c] = stream
+				}
+
+				// Per-client result slabs, allocated outside the timed
+				// region so the measured B/op is the round trip alone.
+				outs := make([][]ssdcheck.FleetResult, clients)
+				for c := range outs {
+					outs[c] = make([]ssdcheck.FleetResult, batch)
+				}
+
+				submitH := &obs.Histogram{} // p99 across all clients
+				perClient := b.N/clients + 1
+				interval := time.Duration(0)
+				if mode == "open" {
+					interval = time.Duration(float64(batch*clients) / openRate * float64(time.Second))
+				}
+
+				b.ResetTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(stream []ssdcheck.FleetRequest, out []ssdcheck.FleetResult) {
+						defer wg.Done()
+						next := time.Now()
+						for sent := 0; sent < perClient; sent += batch {
+							if interval > 0 {
+								// Open loop: arrivals follow the schedule,
+								// never the completions. A late client
+								// doesn't sleep — it is already behind
+								// its arrival curve and the lateness
+								// lands in the latency histogram.
+								if d := time.Until(next); d > 0 {
+									time.Sleep(d)
+								}
+								next = next.Add(interval)
+							}
+							n := batch
+							if left := perClient - sent; left < n {
+								n = left
+							}
+							off := sent % len(stream)
+							if off+n > len(stream) {
+								off = 0
+							}
+							t0 := time.Now()
+							if err := m.SubmitBatchInto(stream[off:off+n], out[:n]); err != nil {
+								b.Error(err)
+								return
+							}
+							submitH.Observe(time.Since(t0))
+						}
+					}(streams[c], outs[c])
+				}
+				wg.Wait()
+				elapsed := time.Since(start).Seconds()
+				total := float64(perClient * clients)
+				snap := submitH.Snapshot()
+				b.ReportMetric(total/elapsed, "predictions/s")
+				b.ReportMetric(float64(snap.Quantile(0.99))/1e3, "p99_submit_us")
+			})
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"ssdcheck/internal/blockdev"
@@ -39,6 +40,35 @@ type submitBody struct {
 
 type submitResponse struct {
 	Results []fleet.Result `json:"results"`
+}
+
+// submitSlab is a reusable request/result pair for the batch endpoint.
+// The fleet's ingress is allocation-free end to end; pooling the
+// daemon's own slabs keeps the HTTP layer from reintroducing per-batch
+// garbage on top of it. Slabs grow to the largest batch seen and are
+// cleared before reuse so no device IDs or predictions linger.
+type submitSlab struct {
+	reqs []fleet.Request
+	out  []fleet.Result
+}
+
+var submitSlabs = sync.Pool{New: func() any { return &submitSlab{} }}
+
+// grow sizes both slices for an n-request batch, reusing capacity.
+func (s *submitSlab) grow(n int) {
+	if cap(s.reqs) < n {
+		s.reqs = make([]fleet.Request, n)
+		s.out = make([]fleet.Result, n)
+	}
+	s.reqs = s.reqs[:n]
+	s.out = s.out[:n]
+}
+
+// release clears and returns the slab to the pool.
+func (s *submitSlab) release() {
+	clear(s.reqs)
+	clear(s.out)
+	submitSlabs.Put(s)
 }
 
 type errorResponse struct {
@@ -151,17 +181,18 @@ func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 			return
 		}
-		batch := make([]fleet.Request, 0, len(body.Requests))
+		slab := submitSlabs.Get().(*submitSlab)
+		defer slab.release()
+		slab.grow(len(body.Requests))
 		for i, sr := range body.Requests {
 			op, err := parseOp(sr.Op)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
 				return
 			}
-			batch = append(batch, fleet.Request{DeviceID: sr.Device, Op: op, LBA: sr.LBA, Sectors: sr.Sectors})
+			slab.reqs[i] = fleet.Request{DeviceID: sr.Device, Op: op, LBA: sr.LBA, Sectors: sr.Sectors}
 		}
-		results, err := m.SubmitBatch(batch)
-		if err != nil {
+		if err := m.SubmitBatchInto(slab.reqs, slab.out); err != nil {
 			// Batch-level errors mean the manager itself can't take
 			// work (shutting down); per-request failures ride inside
 			// the 200 results with their "error" field set, so one bad
@@ -173,7 +204,9 @@ func newServer(m *fleet.Manager, tr *obs.Tracer, nodeID string) http.Handler {
 			writeError(w, code, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, submitResponse{Results: results})
+		// writeJSON serializes before returning, so the pooled slab is
+		// safe to release once the response is on the wire.
+		writeJSON(w, http.StatusOK, submitResponse{Results: slab.out})
 	})
 
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {

@@ -344,7 +344,9 @@ type Config struct {
 	// min(len(Devices), GOMAXPROCS).
 	Shards int
 
-	// QueueDepth is the per-shard request-channel buffer; 0 defaults
+	// QueueDepth is the per-shard ingress ring capacity (rounded up to
+	// a power of two); producers spin when a ring is full, so this
+	// bounds how far submitters can run ahead of a shard. 0 defaults
 	// to 64.
 	QueueDepth int
 

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,11 +34,17 @@ type Manager struct {
 	stopProber chan struct{}
 
 	closeOnce sync.Once
-	// mu guards closed vs. in-flight channel sends, and — since devices
+	// mu guards closed vs. in-flight ring enqueues, and — since devices
 	// can Attach and Detach at runtime — the devs map and order slice.
 	// Lock order is m.mu before md.mu.
 	mu     sync.RWMutex
 	closed bool
+
+	// opPool and dispatchPool recycle the ingress bookkeeping (per-shard
+	// operations, per-batch fan-out tables) so the submit→result round
+	// trip allocates nothing in steady state.
+	opPool       sync.Pool
+	dispatchPool sync.Pool
 
 	// attachAuto round-robins runtime-attached devices across shards,
 	// mirroring what New does for spec.Shard == 0.
@@ -68,8 +75,19 @@ func New(cfg Config) (*Manager, error) {
 		gUnhealthy: cfg.Registry.Gauge("ssdcheck_fleet_unhealthy_devices", "Devices currently quarantined or recovering."),
 		gFallback:  cfg.Registry.Gauge("ssdcheck_fleet_fallback_models", "Devices currently serving conservative fallback predictions."),
 	}
+	m.opPool.New = func() any { return &shardOp{} }
+	m.dispatchPool.New = func() any { return &dispatch{} }
 	for i := 0; i < cfg.Shards; i++ {
-		m.shards = append(m.shards, &shard{id: i, reqs: make(chan shardBatch, cfg.QueueDepth)})
+		lbl := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+		m.shards = append(m.shards, &shard{
+			id:   i,
+			q:    newIngressRing(cfg.QueueDepth),
+			wake: make(chan struct{}, 1),
+			depthG: cfg.Registry.Gauge("fleet_ingress_queue_depth",
+				"Operations queued in the shard's ingress ring.", lbl),
+			waitH: cfg.Registry.HistogramScaled("fleet_ingress_wait_us",
+				"Time operations spend queued in the shard's ingress ring, in microseconds.", 1e3, lbl),
+		})
 	}
 
 	auto := 0
@@ -186,31 +204,52 @@ func (m *Manager) probeQuarantined() {
 		return
 	}
 	wg.Add(len(m.shards))
+	ops := make([]*shardOp, 0, len(m.shards))
 	for _, sh := range m.shards {
-		sh.reqs <- shardBatch{probe: true, wg: &wg}
+		op := m.getOp()
+		op.probe = true
+		op.wg = &wg
+		op.enq = time.Now()
+		sh.enqueue(op)
+		ops = append(ops, op)
 	}
 	m.mu.RUnlock()
 
 	wg.Wait()
+	for _, op := range ops {
+		m.putOp(op)
+	}
 }
 
 // Close stops the recovery prober, stops accepting new work, lets
-// every shard drain its queue, and waits for the shard goroutines to
-// exit. It is idempotent and safe for concurrent use: every caller —
-// first or not — returns only after the fleet has fully drained.
+// every shard drain its ingress ring, and waits for the shard
+// goroutines to exit. It is idempotent and safe for concurrent use:
+// every caller — first or not — returns only after the fleet has fully
+// drained.
 func (m *Manager) Close() {
 	m.closeOnce.Do(func() {
-		// The prober must be gone before the request channels close:
-		// it sends probe batches through them.
+		// The prober must be gone before the shards shut down: it
+		// enqueues probe operations through their rings.
 		close(m.stopProber)
 		m.proberWG.Wait()
 
 		m.mu.Lock()
 		m.closed = true
-		for _, sh := range m.shards {
-			close(sh.reqs)
-		}
 		m.mu.Unlock()
+
+		// Every producer enqueues under m.mu and checks closed first,
+		// so after the write lock above the rings can only shrink. Flip
+		// the shards to closing and wake any parked consumer; each
+		// drains what remains and exits. A consumer about to park
+		// re-checks closing before blocking, so the shutdown wake
+		// cannot be lost.
+		for _, sh := range m.shards {
+			sh.closing.Store(true)
+			select {
+			case sh.wake <- struct{}{}:
+			default:
+			}
+		}
 	})
 	m.runWG.Wait()
 }
@@ -340,9 +379,15 @@ func (m *Manager) Rediagnose(id string) error {
 		return fmt.Errorf("device %q: %w", id, ErrUnknownDevice)
 	}
 	wg.Add(1)
-	m.shards[md.shard].reqs <- shardBatch{rediag: md, rediagErr: &err, wg: &wg}
+	op := m.getOp()
+	op.rediag = md
+	op.rediagErr = &err
+	op.wg = &wg
+	op.enq = time.Now()
+	m.shards[md.shard].enqueue(op)
 	m.mu.RUnlock()
 	wg.Wait()
+	m.putOp(op)
 	return err
 }
 
@@ -406,6 +451,9 @@ func (m *Manager) Metrics() Metrics {
 	m.gShards.Set(int64(m.cfg.Shards))
 	m.gUnhealthy.Set(int64(unhealthy))
 	m.gFallback.Set(int64(fallback))
+	for _, sh := range m.shards {
+		sh.depthG.Set(int64(sh.q.depth()))
+	}
 	return Metrics{
 		Devices:          len(m.order),
 		Shards:           m.cfg.Shards,

@@ -2,7 +2,7 @@ package fleet
 
 import (
 	"fmt"
-	"sync"
+	"time"
 
 	"ssdcheck/internal/obs"
 )
@@ -59,11 +59,15 @@ func (m *Manager) Detach(id string) (*PortableDevice, error) {
 			break
 		}
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	m.shards[md.shard].reqs <- shardBatch{detach: md, wg: &wg}
+	op := m.getOp()
+	op.detach = md
+	op.wg = &op.ownWG
+	op.ownWG.Add(1)
+	op.enq = time.Now()
+	m.shards[md.shard].enqueue(op)
 	m.mu.Unlock()
-	wg.Wait()
+	op.ownWG.Wait()
+	m.putOp(op)
 
 	m.cfg.Registry.DropSeries(obs.Label{Name: "device", Value: id})
 	return &PortableDevice{md: md}, nil
@@ -93,11 +97,15 @@ func (m *Manager) Attach(pd *PortableDevice) error {
 	md.rebind(m.cfg, sh)
 	m.devs[md.id] = md
 	m.order = append(m.order, md.id)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	m.shards[sh].reqs <- shardBatch{attach: md, wg: &wg}
+	op := m.getOp()
+	op.attach = md
+	op.wg = &op.ownWG
+	op.ownWG.Add(1)
+	op.enq = time.Now()
+	m.shards[sh].enqueue(op)
 	m.mu.Unlock()
-	wg.Wait()
+	op.ownWG.Wait()
+	m.putOp(op)
 	pd.md = nil
 	return nil
 }

@@ -3,7 +3,9 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssdcheck/internal/blockdev"
@@ -378,73 +380,148 @@ type batchItem struct {
 	idx int
 }
 
-// shardBatch is the unit of work a shard receives: a slice of items to
-// process in order, writing each result into its own slot of out; or —
-// when probe is set — a sweep that recovery-probes the shard's
-// quarantined devices; or — when rediag is set — a synchronous forced
-// re-diagnosis of one device, its error written through rediagErr; or —
-// when attach/detach is set — a membership change handing device
-// ownership to or away from this shard's goroutine. Slots are disjoint
-// across shards, and wg publishes the writes to the caller.
-type shardBatch struct {
+// shardOp is the unit of work a shard receives through its ingress
+// ring: a slice of items to process in order, writing each result into
+// its own slot of out; or — when probe is set — a sweep that
+// recovery-probes the shard's quarantined devices; or — when rediag is
+// set — a synchronous forced re-diagnosis of one device, its error
+// written through rediagErr; or — when attach/detach is set — a
+// membership change handing device ownership to or away from this
+// shard's goroutine. Result slots are disjoint across shards, and wg
+// publishes the writes to the caller.
+//
+// Operations are pooled: the submitter takes one from Manager.opPool,
+// the shard signals wg after its last touch, and the submitter recycles
+// it after wg.Wait — so the steady-state round trip allocates nothing.
+// ownWG and inline are the embedded storage the single-operation paths
+// (Submit's fast path, probes, membership changes) use so even those
+// never reach for a second object.
+type shardOp struct {
 	items     []batchItem
 	out       []Result
 	wg        *sync.WaitGroup
+	enq       time.Time // ring entry instant, for the ingress wait histogram
 	probe     bool
 	rediag    *managedDevice
 	rediagErr *error
 	attach    *managedDevice
 	detach    *managedDevice
+
+	ownWG  sync.WaitGroup
+	inline [1]Result
+}
+
+// reset scrubs an op before it returns to the pool: device references
+// are cleared so a pooled op never pins a detached device's simulator.
+func (op *shardOp) reset() {
+	clear(op.items)
+	op.items = op.items[:0]
+	op.out = nil
+	op.wg = nil
+	op.enq = time.Time{}
+	op.probe = false
+	op.rediag, op.rediagErr = nil, nil
+	op.attach, op.detach = nil, nil
+	op.inline[0] = Result{}
 }
 
 // shard owns a disjoint subset of the fleet's devices and processes
-// their requests sequentially on one goroutine.
+// their requests sequentially on one goroutine. Work arrives through
+// the lock-free ingress ring; the goroutine spins briefly when the
+// ring runs dry and then parks on wake until a producer hands it the
+// token (see enqueue for the producer half of the protocol).
 type shard struct {
 	id   int
-	reqs chan shardBatch
+	q    *ingressRing
+	wake chan struct{} // capacity 1: at most one pending wake token
+	idle atomic.Bool   // consumer parked (or about to); producers CAS it down
+
+	// closing is set by Close after the manager stops accepting work;
+	// the consumer exits once it is set and the ring is drained.
+	closing atomic.Bool
+
 	devs []*managedDevice
+
+	// Ingress observability: queue depth gauge (refreshed by
+	// Manager.Metrics) and time-in-ring histogram (observed per
+	// operation at dequeue, exposed in microseconds).
+	depthG *obs.Gauge
+	waitH  *obs.Histogram
 }
+
+// idleSpins is how many yield-and-recheck rounds the consumer burns
+// before parking. Enough to bridge a producer mid-enqueue; small
+// enough that an idle fleet costs nothing measurable.
+const idleSpins = 32
 
 func (s *shard) run(done *sync.WaitGroup, cfg Config) {
 	defer done.Done()
-	for b := range s.reqs {
-		if b.attach != nil {
-			// Ownership handoff: from here on this goroutine is the only
-			// one touching the device's simulator and predictor.
-			s.devs = append(s.devs, b.attach)
-			b.wg.Done()
-			continue
+	for {
+		op := s.q.pop()
+		for i := 0; op == nil && i < idleSpins; i++ {
+			runtime.Gosched()
+			op = s.q.pop()
 		}
-		if b.detach != nil {
-			for i, md := range s.devs {
-				if md == b.detach {
-					s.devs = append(s.devs[:i], s.devs[i+1:]...)
-					break
+		if op == nil {
+			// Publish idleness, then recheck: a producer that pushed
+			// before seeing idle=true is caught by the recheck, one
+			// that pushed after will CAS the flag and send the token —
+			// either way no operation is stranded in the ring.
+			s.idle.Store(true)
+			if op = s.q.pop(); op == nil {
+				if s.closing.Load() {
+					// closing is set only after every producer released
+					// m.mu, so the ring can no longer grow; one final
+					// drain check and the shard is done.
+					if op = s.q.pop(); op == nil {
+						return
+					}
+				} else {
+					<-s.wake
+					op = s.q.pop() // may be nil: a stale token is harmless
 				}
 			}
-			b.wg.Done()
-			continue
-		}
-		if b.rediag != nil {
-			*b.rediagErr = b.rediag.forceRediag(cfg)
-			b.wg.Done()
-			continue
-		}
-		if b.probe {
-			for _, md := range s.devs {
-				md.mu.Lock()
-				quarantined := md.health == Quarantined
-				md.mu.Unlock()
-				if quarantined {
-					md.tryRecover(cfg)
-				}
+			s.idle.Store(false)
+			if op == nil {
+				continue
 			}
-			b.wg.Done()
-			continue
 		}
-		for _, it := range b.items {
-			b.out[it.idx] = it.md.process(it.req, cfg)
-		}
-		b.wg.Done()
+		s.exec(op, cfg)
 	}
+}
+
+// exec runs one dequeued operation. wg.Done is the shard's last touch:
+// it publishes the result writes and releases the op back to its
+// submitter, which may recycle it immediately.
+func (s *shard) exec(op *shardOp, cfg Config) {
+	s.waitH.Observe(time.Since(op.enq))
+	switch {
+	case op.attach != nil:
+		// Ownership handoff: from here on this goroutine is the only
+		// one touching the device's simulator and predictor.
+		s.devs = append(s.devs, op.attach)
+	case op.detach != nil:
+		for i, md := range s.devs {
+			if md == op.detach {
+				s.devs = append(s.devs[:i], s.devs[i+1:]...)
+				break
+			}
+		}
+	case op.rediag != nil:
+		*op.rediagErr = op.rediag.forceRediag(cfg)
+	case op.probe:
+		for _, md := range s.devs {
+			md.mu.Lock()
+			quarantined := md.health == Quarantined
+			md.mu.Unlock()
+			if quarantined {
+				md.tryRecover(cfg)
+			}
+		}
+	default:
+		for _, it := range op.items {
+			op.out[it.idx] = it.md.process(it.req, cfg)
+		}
+	}
+	op.wg.Done()
 }

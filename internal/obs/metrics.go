@@ -110,8 +110,9 @@ func escapeLabel(v string) string {
 }
 
 // lookup returns (creating if needed) the series for name+labels,
-// checking the family's type stays consistent.
-func (r *Registry) lookup(name, help, typ string, labels []Label) *metric {
+// checking the family's type stays consistent. scale only applies to
+// histograms: it divides the stored nanosecond bounds on exposition.
+func (r *Registry) lookup(name, help, typ string, scale float64, labels []Label) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[name]
@@ -133,7 +134,7 @@ func (r *Registry) lookup(name, help, typ string, labels []Label) *metric {
 			m.gauge = &Gauge{}
 		case "histogram":
 			m.hist = &Histogram{}
-			m.scale = 1e9 // ns stored, seconds exposed
+			m.scale = scale
 		}
 		f.series[key] = m
 	}
@@ -144,19 +145,32 @@ func (r *Registry) lookup(name, help, typ string, labels []Label) *metric {
 // use. Calling again with the same name and labels returns the same
 // counter.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	return r.lookup(name, help, "counter", labels).counter
+	return r.lookup(name, help, "counter", 0, labels).counter
 }
 
 // Gauge returns the gauge for name+labels, registering it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	return r.lookup(name, help, "gauge", labels).gauge
+	return r.lookup(name, help, "gauge", 0, labels).gauge
 }
 
 // Histogram returns the latency histogram for name+labels, registering
 // it on first use. Observations are nanoseconds internally; exposition
 // follows the Prometheus convention of seconds.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
-	return r.lookup(name, help, "histogram", labels).hist
+	return r.lookup(name, help, "histogram", 1e9, labels).hist
+}
+
+// HistogramScaled is Histogram with an explicit exposition scale: the
+// stored nanosecond bounds are divided by scale when rendered. The
+// fleet's ingress wait histogram uses 1e3 so its buckets read as
+// microseconds — the natural unit for sub-millisecond queueing — while
+// plain latency histograms keep the Prometheus seconds convention via
+// Histogram's 1e9. The scale is fixed at first registration.
+func (r *Registry) HistogramScaled(name, help string, scale float64, labels ...Label) *Histogram {
+	if scale <= 0 {
+		scale = 1e9
+	}
+	return r.lookup(name, help, "histogram", scale, labels).hist
 }
 
 // WritePrometheus renders every registered metric in the Prometheus

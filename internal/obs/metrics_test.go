@@ -150,6 +150,60 @@ func TestHistogramExposition(t *testing.T) {
 	}
 }
 
+// TestHistogramScaled checks the explicit-scale exposition path: a
+// histogram registered with scale 1e3 renders its nanosecond bounds
+// as microseconds, while Histogram's default stays seconds. The fleet
+// ingress wait histogram rides on this.
+func TestHistogramScaled(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramScaled("wait_us", "queue wait", 1e3, Label{"shard", "0"})
+	h.Observe(100 * time.Microsecond) // 1e5 ns → le bounds near 100 in µs units
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var sawBucket bool
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "wait_us_bucket") || strings.Contains(line, `le="+Inf"`) {
+			continue
+		}
+		i := strings.Index(line, `le="`)
+		rest := line[i+4:]
+		bound, err := strconv.ParseFloat(rest[:strings.Index(rest, `"`)], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		// A 100µs observation must land in a bucket whose µs-unit
+		// upper bound is ≥100 and of the same magnitude — not 1e-4
+		// (seconds rendering) and not 1e5 (raw nanoseconds).
+		if bound < 100 || bound > 200 {
+			t.Errorf("le = %v µs for a 100µs observation; wrong exposition scale", bound)
+		}
+		sawBucket = true
+	}
+	if !sawBucket {
+		t.Fatalf("no finite bucket rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `wait_us_count{shard="0"} 1`) {
+		t.Errorf("count series missing:\n%s", out)
+	}
+	// Same name and labels return the same histogram, scale unchanged.
+	if r.HistogramScaled("wait_us", "queue wait", 1e3, Label{"shard", "0"}) != h {
+		t.Error("re-registration returned a different histogram")
+	}
+	// A non-positive scale falls back to the seconds convention.
+	r2 := NewRegistry()
+	r2.HistogramScaled("bad_scale", "h", 0).Observe(time.Second)
+	var b2 strings.Builder
+	if err := r2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), `le="1`) {
+		t.Errorf("zero scale did not fall back to seconds:\n%s", b2.String())
+	}
+}
+
 func TestDropSeries(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("reqs_total", "requests", Label{"device", "a"}).Add(3)
