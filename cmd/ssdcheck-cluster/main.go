@@ -50,6 +50,19 @@
 //	ssdcheckd -addr :8802 -node-id node-b -devices 0 ... &
 //	ssdcheck-cluster -join node-a=http://127.0.0.1:8801,node-b=http://127.0.0.1:8802 \
 //	    -devices 8 -fastdiag -wal-dir /var/lib/ssdcheck/coordinator
+//
+// With -peers N the daemon hosts a replicated coordinator group: N
+// coordinator replicas share a quorum-acknowledged placement log,
+// leadership is a tick-clock lease (-lease, -election-timeout, in
+// heartbeat rounds), failover is a deterministic election
+// (longest-log, lowest-ID tie-break), and a superseded leader is
+// fenced off the node plane by term. /healthz then reports the current
+// term, leader ID and quorum size, /v1/coordinator/status the full
+// per-replica log state, and /v1/coordinator/replicas/{id}/
+// {crash,restart,partition,heal} inject coordinator chaos. -wal-dir
+// makes every replica's log durable under <dir>/<replica-id>/.
+//
+//	ssdcheck-cluster -peers 3 -nodes 3 -devices 12 -fastdiag -tick-interval 500ms
 package main
 
 import (
@@ -81,6 +94,9 @@ func main() {
 	fastDiag := flag.Bool("fastdiag", false, "use reduced-strength startup diagnosis probes")
 	tickInterval := flag.Duration("tick-interval", time.Second, "wall-clock heartbeat round period (0 = manual via POST /v1/cluster/tick)")
 	walDir := flag.String("wal-dir", "", "coordinator WAL directory: decisions are durably logged and replayed on restart")
+	peers := flag.Int("peers", 0, "replicated mode: coordinator replica count (>=3, odd); placements commit only on quorum ack and leadership fails over on lease expiry")
+	lease := flag.Int("lease", 0, "replicated mode: heartbeat rounds a leader may fail to commit before abdicating (0 = default)")
+	electionTimeout := flag.Int("election-timeout", 0, "replicated mode: silent rounds before followers elect a new leader (0 = default; must exceed -lease)")
 	joinSpec := flag.String("join", "", "networked mode: remote members as id=baseURL[,id=baseURL...], driven over their /v1/node/* API")
 	rpcDeadline := flag.Duration("rpc-deadline", 0, "per-attempt RPC deadline in networked mode (0 = default)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests each hosted node traces, 0..1 (0 = off)")
@@ -93,9 +109,14 @@ func main() {
 	}
 
 	var err error
-	if *joinSpec != "" {
+	switch {
+	case *joinSpec != "" && *peers > 0:
+		err = fmt.Errorf("-join and -peers are mutually exclusive")
+	case *joinSpec != "":
 		err = runRemote(*addr, *joinSpec, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval, *walDir, *rpcDeadline)
-	} else {
+	case *peers > 0:
+		err = runReplicated(*addr, *peers, *nodes, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval, *walDir, *lease, *electionTimeout)
+	default:
 		err = run(*addr, *nodes, *devices, *presets, *shards, *seed, *vnodes, *fastDiag, *tickInterval, *walDir, *traceSample, *traceBuffer)
 	}
 	if err != nil {
@@ -107,8 +128,8 @@ func main() {
 // serve runs the HTTP front end and the optional wall-clock heartbeat
 // ticker over an up-and-running coordinator, then shuts down
 // gracefully on SIGINT/SIGTERM.
-func serve(addr string, c *cluster.Coordinator, newMember func(id, addr string) (*cluster.Node, error), tickInterval time.Duration, closeAll func()) error {
-	srv := &http.Server{Addr: addr, Handler: newServer(c, newMember)}
+func serve(addr string, handler http.Handler, tick func() error, tickInterval time.Duration, closeAll func()) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -120,7 +141,7 @@ func serve(addr string, c *cluster.Coordinator, newMember func(id, addr string) 
 			for {
 				select {
 				case <-ticker.C:
-					if err := c.Tick(); err != nil {
+					if err := tick(); err != nil {
 						return
 					}
 				case <-ctx.Done():
@@ -203,7 +224,57 @@ func run(addr string, nodes, devices int, presets string, shards int, seed uint6
 	log.Printf("cluster up in %v", time.Since(start).Round(time.Millisecond))
 
 	newMember := func(id, _ string) (*cluster.Node, error) { return cluster.NewNode(id, nodeCfg) }
-	return serve(addr, h.Coordinator(), newMember, tickInterval, h.Close)
+	c := h.Coordinator()
+	return serve(addr, newServer(c, newMember), c.Tick, tickInterval, h.Close)
+}
+
+// runReplicated hosts a lease-fenced coordinator replica group: every
+// placement/health/adopt decision commits through a quorum-replicated
+// log, leadership fails over deterministically when the leader's lease
+// lapses, and a superseded leader is fenced off the node plane by term
+// (see internal/cluster replica.go / group.go).
+func runReplicated(addr string, peers, nodes, devices int, presets string, shards int, seed uint64, vnodes int, fastDiag bool, tickInterval time.Duration, dir string, lease, electionTimeout int) error {
+	if peers < 3 {
+		return fmt.Errorf("-peers %d: a replicated coordinator needs at least 3 replicas", peers)
+	}
+	if peers%2 == 0 {
+		return fmt.Errorf("-peers %d: use an odd replica count so elections cannot tie on quorum", peers)
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("need at least one node (-nodes)")
+	}
+	if devices <= 0 {
+		return fmt.Errorf("need at least one device (-devices)")
+	}
+	if tickInterval < 0 {
+		return fmt.Errorf("-tick-interval %v is negative", tickInterval)
+	}
+
+	nodeCfg := fleet.Config{Shards: shards}
+	if fastDiag {
+		nodeCfg.Diagnosis = fleet.FastDiagnosis()
+	}
+
+	log.Printf("bootstrapping %d devices across %d nodes behind %d coordinator replicas...", devices, nodes, peers)
+	start := time.Now()
+	g, err := cluster.NewGroup(cluster.GroupConfig{
+		Replicas: peers,
+		Nodes:    nodes,
+		Devices:  fleet.PresetDevices(devices, parseCycle(presets), seed),
+		Node:     nodeCfg,
+		Policy:   cluster.Policy{Seed: seed, VirtualNodes: vnodes},
+		Group:    cluster.GroupPolicy{LeaseRounds: lease, ElectionTimeoutRounds: electionTimeout},
+		Dir:      dir,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	st := g.Status()
+	log.Printf("replica group up in %v: leader %s at term %d, quorum %d of %d",
+		time.Since(start).Round(time.Millisecond), st.Leader, st.Term, st.Quorum, len(st.Replicas))
+
+	return serve(addr, newGroupServer(g), g.Tick, tickInterval, g.Close)
 }
 
 // runRemote drives real ssdcheckd processes over their /v1/node/*
@@ -298,5 +369,5 @@ func runRemote(addr, joinSpec string, devices int, presets string, shards int, s
 		}
 		return cluster.NewRemoteNode(id, addr)
 	}
-	return serve(addr, c, newMember, tickInterval, c.Close)
+	return serve(addr, newServer(c, newMember), c.Tick, tickInterval, c.Close)
 }

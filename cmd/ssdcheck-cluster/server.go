@@ -97,11 +97,18 @@ func newServer(c *cluster.Coordinator, newMember func(id, addr string) (*cluster
 		case inService < len(nodes):
 			status = "degraded"
 		}
+		// term/leader/quorum_size mirror the replicated mode's probe
+		// shape (-peers; see server_group.go) so operator tooling can
+		// parse one healthz format: a standalone coordinator is its own
+		// one-member quorum at term 0.
 		writeJSON(w, code, map[string]any{
-			"status":     status,
-			"nodes":      len(nodes),
-			"in_service": inService,
-			"round":      c.Round(),
+			"status":      status,
+			"nodes":       len(nodes),
+			"in_service":  inService,
+			"round":       c.Round(),
+			"term":        0,
+			"leader":      "standalone",
+			"quorum_size": 1,
 		})
 	})
 

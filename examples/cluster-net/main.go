@@ -5,10 +5,12 @@
 // its ring owner over attach RPCs. A graceful drain then migrates
 // every device off node-a through detach/attach over the wire; the
 // coordinator is SIGKILLed mid-flight and a restarted one replays its
-// WAL and resumes with the same placement and log; finally node-b's
-// process dies and the per-node circuit breaker turns an unreachable
-// member from one timeout per request into one fast-fail per
-// sub-batch.
+// WAL and resumes with the same placement and log; node-b's process
+// dies and the per-node circuit breaker turns an unreachable member
+// from one timeout per request into one fast-fail per sub-batch; and
+// finally the node RPC plane's epoch fencing is demonstrated — once a
+// node witnesses a newer leadership term, RPCs from a deposed
+// coordinator answer 412 before touching state.
 //
 // Run from the repository root: go run ./examples/cluster-net
 // (it builds ssdcheckd and ssdcheck-cluster into a temp dir first).
@@ -163,6 +165,46 @@ func main() {
 		fmt.Printf("  seq=%d %-7s %s -> %s (%s)\n", e.Seq, e.Node, e.From, e.To, e.Cause)
 	}
 	fmt.Printf("breaker states: %v\n", breakers.Breakers)
+
+	// 8. Epoch fencing on the node plane: every /v1/node/* RPC may
+	//    carry a fencing token (term, leaderID). A node remembers the
+	//    highest term it has witnessed and answers 412 to anything
+	//    older — before touching any state — so when coordinators are
+	//    replicated (ssdcheck-cluster -peers), a deposed leader that
+	//    still believes it holds the lease is cut off the moment its
+	//    successor's first RPC lands. Demonstrated here against
+	//    node-a's live RPC plane.
+	fmt.Println("\nepoch fencing on node-a's /v1/node plane:")
+	for _, probe := range []struct {
+		term   int64
+		leader string
+	}{
+		{2, "rep-0"}, // first fenced RPC: node witnesses term 2
+		{3, "rep-1"}, // a successor at term 3: accepted, raises the bar
+		{2, "rep-0"}, // the deposed leader retries: 412, fenced
+	} {
+		code := fencedHeartbeat(urlA, probe.term, probe.leader)
+		verdict := "accepted"
+		if code == http.StatusPreconditionFailed {
+			verdict = "REJECTED (stale term)"
+		}
+		fmt.Printf("  heartbeat from %s at term %d: %d %s\n", probe.leader, probe.term, code, verdict)
+	}
+}
+
+// fencedHeartbeat posts a heartbeat stamped with a fencing token and
+// returns the HTTP status — 200 for a current term, 412 for a stale
+// one.
+func fencedHeartbeat(base string, term int64, leader string) int {
+	body, _ := json.Marshal(map[string]any{
+		"fence": map[string]any{"term": term, "leader": leader},
+	})
+	resp, err := http.Post(base+"/v1/node/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 type result struct {

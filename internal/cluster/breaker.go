@@ -105,6 +105,25 @@ func (c *Coordinator) breakerTransitionLocked(mb *member, to BreakerState, cause
 	c.breakerGaugeLocked(mb.node.ID())
 }
 
+// breakerPeekLocked is breakerAdmitLocked without the mutation: it
+// answers whether the node would admit a sub-batch right now and
+// whether admitting would flip the breaker (open → half-open). The
+// replicated submit path needs the answer before the admit record is
+// proposed — the decision must be durable before the state machine
+// moves.
+func (c *Coordinator) breakerPeekLocked(mb *member) (admit, flip bool) {
+	if c.pol.BreakerFailures <= 0 {
+		return true, false
+	}
+	if mb.brk == BreakerOpen {
+		if c.now.Sub(mb.brkOpenedAt) >= c.pol.BreakerCooldown {
+			return true, true
+		}
+		return false, false
+	}
+	return true, false
+}
+
 // breakerAdmitLocked decides whether a submit sub-batch may go to the
 // node right now. An open breaker whose cooldown has elapsed
 // half-opens and admits this sub-batch as the probe; an open breaker

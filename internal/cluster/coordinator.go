@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -71,6 +72,19 @@ type Coordinator struct {
 	wal       *WAL
 	replaying bool
 
+	// rep, when non-nil, replaces the local WAL as the durability
+	// layer: every record must reach a quorum of replicas before the
+	// mutation it describes is applied (see replica.go). resolver maps
+	// replicated membership records back to node handles on standby
+	// replay; fence stamps this coordinator's term onto node-plane
+	// RPCs; onDeposed fires once when a node or peer authoritatively
+	// reports the coordinator's term is stale.
+	rep         proposer
+	resolver    NodeResolver
+	fence       FencingToken
+	onDeposed   func()
+	deposedSeen bool
+
 	// Cluster-level registry: coordinator gauges live here unlabeled;
 	// the merged exposition injects node labels into per-node series.
 	reg                          *obs.Registry
@@ -78,8 +92,16 @@ type Coordinator struct {
 	gRound                       *obs.Gauge
 	cMoves                       *obs.Counter
 	cSubmitFails                 *obs.Counter
+	cFenceRejects                *obs.Counter
 	healthGauges                 map[string]*obs.Gauge
 	breakerGauges                map[string]*obs.Gauge
+}
+
+// proposer is the replication seam: the coordinator hands every
+// would-be WAL record to it before applying the mutation, and the
+// record is durable (quorum-acknowledged) when propose returns nil.
+type proposer interface {
+	propose(rec walRecord) error
 }
 
 // NewCoordinator builds an empty cluster over the given transport. A
@@ -109,6 +131,7 @@ func NewCoordinator(pol Policy, tr Transport, reg *obs.Registry) (*Coordinator, 
 		gRound:        reg.Gauge("ssdcheck_cluster_round", "Heartbeat rounds completed."),
 		cMoves:        reg.Counter("ssdcheck_cluster_placement_moves_total", "Device migrations (bootstrap placements excluded)."),
 		cSubmitFails:  reg.Counter("ssdcheck_cluster_submit_failures_total", "Requests failed cluster-side (unknown device, unreachable node, open breaker)."),
+		cFenceRejects: reg.Counter("ssdcheck_cluster_fencing_rejections_total", "Node-plane RPCs this coordinator had rejected for a stale term (it was superseded)."),
 		healthGauges:  make(map[string]*obs.Gauge),
 		breakerGauges: make(map[string]*obs.Gauge),
 	}, nil
@@ -189,31 +212,43 @@ func (c *Coordinator) placeLocked(dev, from, to, cause string) {
 // physical move already happened in the coordinator's previous life.
 func (c *Coordinator) migrateLocked(dev, from, to, cause string) error {
 	if !c.replaying {
-		fromM := c.members[from].node.Manager()
-		toM := c.members[to].node.Manager()
-		if fromM != nil && toM != nil {
-			pd, err := fromM.Detach(dev)
-			if err != nil {
-				return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
-			}
-			if err := toM.Attach(pd); err != nil {
-				return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
-			}
-		} else {
-			mover, ok := c.tr.(DeviceMover)
-			if !ok {
-				return fmt.Errorf("cluster: moving %q from %q to %q: transport cannot move devices between processes", dev, from, to)
-			}
-			st, err := mover.DetachDevice(c.members[from].node, dev)
-			if err != nil {
-				return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
-			}
-			if err := mover.AttachDevice(c.members[to].node, st); err != nil {
-				return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
-			}
+		if err := c.moveDeviceLocked(dev, from, to); err != nil {
+			return err
 		}
 	}
 	c.placeLocked(dev, from, to, cause)
+	return nil
+}
+
+// moveDeviceLocked performs the physical half of a migration — the
+// device's live state leaves one node's manager and lands in the
+// other's — with no bookkeeping. Reconcile uses it directly: repairing
+// drift means making reality match the committed log, not logging a
+// new decision.
+func (c *Coordinator) moveDeviceLocked(dev, from, to string) error {
+	fromM := c.members[from].node.Manager()
+	toM := c.members[to].node.Manager()
+	if fromM != nil && toM != nil {
+		pd, err := fromM.Detach(dev)
+		if err != nil {
+			return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
+		}
+		if err := toM.Attach(pd); err != nil {
+			return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+		}
+		return nil
+	}
+	mover, ok := c.tr.(DeviceMover)
+	if !ok {
+		return fmt.Errorf("cluster: moving %q from %q to %q: transport cannot move devices between processes", dev, from, to)
+	}
+	st, err := mover.DetachDevice(c.members[from].node, dev)
+	if err != nil {
+		return fmt.Errorf("cluster: evacuating %q from %q: %w", dev, from, err)
+	}
+	if err := mover.AttachDevice(c.members[to].node, st); err != nil {
+		return fmt.Errorf("cluster: placing %q on %q: %w", dev, to, err)
+	}
 	return nil
 }
 
@@ -256,7 +291,9 @@ func (c *Coordinator) evacuateLocked(id string) error {
 }
 
 // Join adds a node to the cluster: it takes its arcs on the ring and
-// the rebalance pass migrates the devices those arcs now own.
+// the rebalance pass migrates the devices those arcs now own. The
+// decision is made durable (quorum-acknowledged or fsync'd) before
+// any state mutates or any device moves.
 func (c *Coordinator) Join(n *Node) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -266,15 +303,15 @@ func (c *Coordinator) Join(n *Node) error {
 	if _, dup := c.members[n.ID()]; dup {
 		return fmt.Errorf("cluster: duplicate node ID %q", n.ID())
 	}
+	if err := c.proposeLocked(walRecord{Type: "join", Node: n.ID(), Addr: n.Addr()}); err != nil {
+		return err
+	}
 	c.members[n.ID()] = &member{node: n, health: fleet.Healthy}
 	c.order = append(c.order, n.ID())
 	c.ring.Add(n.ID())
 	c.healthGaugeLocked(n.ID()).Set(int64(fleet.Healthy))
 	c.breakerGaugeLocked(n.ID())
-	if err := c.rebalanceLocked("join"); err != nil {
-		return err
-	}
-	return c.walAppendLocked(walRecord{Type: "join", Node: n.ID(), Addr: n.Addr()})
+	return c.rebalanceLocked("join")
 }
 
 // Leave removes a node gracefully: its devices migrate to the owners a
@@ -288,6 +325,9 @@ func (c *Coordinator) Leave(id string) error {
 	}
 	if _, ok := c.members[id]; !ok {
 		return fmt.Errorf("node %q: %w", id, ErrUnknownNode)
+	}
+	if err := c.proposeLocked(walRecord{Type: "leave", Node: id}); err != nil {
+		return err
 	}
 	if err := c.evacuateLocked(id); err != nil {
 		return err
@@ -311,7 +351,7 @@ func (c *Coordinator) Leave(id string) error {
 			break
 		}
 	}
-	return c.walAppendLocked(walRecord{Type: "leave", Node: id})
+	return nil
 }
 
 // Kill abruptly stops a node — the process dies, the devices' state
@@ -355,11 +395,19 @@ func (c *Coordinator) AdoptDevices(src *fleet.Manager, ids []string) error {
 	if c.closed {
 		return ErrCoordinatorClosed
 	}
-	for _, dev := range ids {
+	targets := make([]string, len(ids))
+	for i, dev := range ids {
 		target, ok := c.ring.Owner(dev)
 		if !ok {
 			return ErrNoNodes
 		}
+		targets[i] = target
+	}
+	if err := c.proposeLocked(walRecord{Type: "adopt", Devices: ids}); err != nil {
+		return err
+	}
+	for i, dev := range ids {
+		target := targets[i]
 		if !c.replaying {
 			if err := c.adoptOneLocked(src, dev, target); err != nil {
 				return err
@@ -367,7 +415,7 @@ func (c *Coordinator) AdoptDevices(src *fleet.Manager, ids []string) error {
 		}
 		c.placeLocked(dev, "", target, "bootstrap")
 	}
-	return c.walAppendLocked(walRecord{Type: "adopt", Devices: ids})
+	return nil
 }
 
 // adoptOneLocked physically moves one device from the bootstrap
@@ -402,6 +450,13 @@ func (c *Coordinator) adoptOneLocked(src *fleet.Manager, dev, target string) err
 // every member is probed in parallel, and the outcomes drive the
 // health state machines in membership order — including failover
 // (quarantine + evacuation) and rejoin (ring re-entry + rebalance).
+//
+// The round's heartbeat outcomes — the one nondeterministic input the
+// health machines consume — are made durable before they are applied:
+// the tick record is proposed (quorum-acknowledged, or fsync'd to the
+// standalone WAL) between the read-only fan-out and the state-machine
+// pass. A replicated leader whose proposal fails applies nothing; the
+// group demotes it once its lease lapses.
 func (c *Coordinator) Tick() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -433,9 +488,21 @@ func (c *Coordinator) Tick() error {
 	wg.Wait()
 
 	oks := make([]bool, len(ids))
+	for i := range ids {
+		if errors.Is(results[i].err, ErrStaleTerm) {
+			// A node bounced this coordinator's term: it has been
+			// superseded. Record the observation and report upward; the
+			// rejected probe counts as a miss like any other.
+			c.cFenceRejects.Inc()
+			c.deposedLocked()
+		}
+		oks[i] = results[i].err == nil && results[i].rtt <= c.pol.HeartbeatDeadline
+	}
+	if err := c.proposeLocked(walRecord{Type: "tick", Nodes: ids, OK: oks}); err != nil {
+		return err
+	}
 	for i, id := range ids {
 		mb := c.members[id]
-		oks[i] = results[i].err == nil && results[i].rtt <= c.pol.HeartbeatDeadline
 		if oks[i] {
 			if err := c.noteBeatLocked(mb); err != nil {
 				return err
@@ -444,7 +511,19 @@ func (c *Coordinator) Tick() error {
 			return err
 		}
 	}
-	return c.walAppendLocked(walRecord{Type: "tick", Nodes: ids, OK: oks})
+	return nil
+}
+
+// deposedLocked reports (once) that another coordinator's newer term
+// has fenced this one off the node plane.
+func (c *Coordinator) deposedLocked() {
+	if c.deposedSeen {
+		return
+	}
+	c.deposedSeen = true
+	if c.onDeposed != nil {
+		c.onDeposed()
+	}
 }
 
 // noteMissLocked feeds one missed heartbeat into a node's state
@@ -541,17 +620,23 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 	}
 	// Admit in membership order: fast-fail sub-batches for open
 	// breakers, let everything else (including half-open probes)
-	// through to the fan-out.
+	// through to the fan-out. The admit decision is peeked first —
+	// pure — so a breaker flip (open → half-open) can be proposed
+	// durably before the state machine moves.
 	var admitted []string
 	nodes := make(map[string]*Node, len(groups))
-	preLog := len(c.breakerlog)
+	wouldFlip := false
 	for _, id := range c.order {
 		idxs, ok := groups[id]
 		if !ok {
 			continue
 		}
 		mb := c.members[id]
-		if !c.breakerAdmitLocked(mb) {
+		admit, flip := c.breakerPeekLocked(mb)
+		if flip {
+			wouldFlip = true
+		}
+		if !admit {
 			err := fmt.Errorf("node %q: %w", id, ErrBreakerOpen)
 			for _, i := range idxs {
 				out[i] = failedResult(reqs[i].DeviceID, id, err)
@@ -562,18 +647,21 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 		admitted = append(admitted, id)
 		nodes[id] = mb.node
 	}
-	var walErr error
-	if len(c.breakerlog) != preLog {
-		// Admit flipped a breaker (open → half-open): that seq bump must
-		// replay at exactly this position.
-		walErr = c.walAppendLocked(walRecord{Type: "admit", Nodes: admitted})
+	if wouldFlip {
+		// A breaker flip's seq bump must replay at exactly this
+		// position, on a quorum, before the flip happens here.
+		if err := c.proposeLocked(walRecord{Type: "admit", Nodes: admitted}); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	for _, id := range admitted {
+		c.breakerAdmitLocked(c.members[id])
 	}
 	c.mu.Unlock()
-	if walErr != nil {
-		return nil, walErr
-	}
 
 	failed := make([]bool, len(admitted))
+	errs := make([]error, len(admitted))
 	var wg sync.WaitGroup
 	wg.Add(len(admitted))
 	for j, id := range admitted {
@@ -586,6 +674,7 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 			res, err := c.tr.Submit(nodes[id], sub)
 			if err != nil {
 				failed[j] = true
+				errs[j] = err
 				for _, i := range idxs {
 					out[i] = failedResult(reqs[i].DeviceID, id, err)
 				}
@@ -604,9 +693,14 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 	if c.closed {
 		return out, nil
 	}
-	preLog = len(c.breakerlog)
 	dirty := false
 	for j, id := range admitted {
+		if errors.Is(errs[j], ErrStaleTerm) {
+			// The node plane bounced this coordinator's term: it has
+			// been superseded and must demote, not keep serving.
+			c.cFenceRejects.Inc()
+			c.deposedLocked()
+		}
 		mb := c.members[id]
 		if mb == nil {
 			continue // left the cluster mid-flight
@@ -617,12 +711,18 @@ func (c *Coordinator) Submit(reqs []fleet.Request) ([]Result, error) {
 		} else if mb.brkFails > 0 || mb.brk == BreakerHalfOpen {
 			dirty = true // success resets a tracked streak or closes a probe
 		}
-		c.breakerOutcomeLocked(mb, failed[j])
 	}
-	if dirty || len(c.breakerlog) != preLog {
-		if err := c.walAppendLocked(walRecord{Type: "outcome", Nodes: admitted, Failed: failed}); err != nil {
+	if dirty {
+		if err := c.proposeLocked(walRecord{Type: "outcome", Nodes: admitted, Failed: failed}); err != nil {
 			return out, err
 		}
+	}
+	for j, id := range admitted {
+		mb := c.members[id]
+		if mb == nil {
+			continue
+		}
+		c.breakerOutcomeLocked(mb, failed[j])
 	}
 	return out, nil
 }

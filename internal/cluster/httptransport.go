@@ -38,8 +38,27 @@ type HTTPTransport struct {
 	seed   uint64
 	nonce  uint64 // incarnation marker baked into every token
 
+	fenceMu sync.Mutex
+	fence   FencingToken
+
 	mu    sync.Mutex
 	nodes map[string]*httpNode
+}
+
+// SetFence implements FencedTransport: subsequent node RPCs carry the
+// token, and nodes reject it with 412 once a newer term has fenced
+// them.
+func (t *HTTPTransport) SetFence(tok FencingToken) {
+	t.fenceMu.Lock()
+	t.fence = tok
+	t.fenceMu.Unlock()
+}
+
+// Fence returns the transport's current fencing token.
+func (t *HTTPTransport) Fence() FencingToken {
+	t.fenceMu.Lock()
+	defer t.fenceMu.Unlock()
+	return t.fence
 }
 
 // httpNode is one remote node's transport-side state: the token
@@ -159,6 +178,10 @@ func (t *HTTPTransport) post(node, url string, body, out any) *rpcError {
 			msg = resp.Status
 		}
 		switch {
+		case resp.StatusCode == http.StatusPreconditionFailed:
+			// Fenced: a newer term reached the node. Authoritative —
+			// the caller must demote, not retry.
+			return &rpcError{err: fmt.Errorf("node %q: %s: %w", node, msg, ErrStaleTerm)}
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			return &rpcError{err: fmt.Errorf("node %q: %s: %w", node, msg, ErrNodeDown)}
 		case resp.StatusCode >= 400 && resp.StatusCode < 500:
@@ -212,7 +235,7 @@ func (t *HTTPTransport) Heartbeat(n *Node) (time.Duration, error) {
 		return DirectTransport{}.Heartbeat(n)
 	}
 	start := time.Now()
-	if rerr := t.post(n.ID(), n.Addr()+"/v1/node/heartbeat", struct{}{}, nil); rerr != nil {
+	if rerr := t.post(n.ID(), n.Addr()+"/v1/node/heartbeat", nodeHeartbeatBody{Fence: t.Fence()}, nil); rerr != nil {
 		return 0, rerr.err
 	}
 	return time.Since(start), nil
@@ -225,7 +248,7 @@ func (t *HTTPTransport) Submit(n *Node, reqs []fleet.Request) ([]fleet.Result, e
 	if n.Addr() == "" {
 		return DirectTransport{}.Submit(n, reqs)
 	}
-	body := nodeSubmitBody{Token: t.token(n.ID()), Requests: toWire(reqs)}
+	body := nodeSubmitBody{Token: t.token(n.ID()), Fence: t.Fence(), Requests: toWire(reqs)}
 	var resp nodeSubmitResponse
 	if err := t.call(n, "/v1/node/submit", body, &resp); err != nil {
 		return nil, err
@@ -249,7 +272,7 @@ func (t *HTTPTransport) DetachDevice(n *Node, device string) (*fleet.DeviceState
 	if m := n.Manager(); m != nil {
 		return m.ExportDevice(device)
 	}
-	body := nodeDetachBody{Token: t.token(n.ID()), Device: device}
+	body := nodeDetachBody{Token: t.token(n.ID()), Fence: t.Fence(), Device: device}
 	var resp nodeDetachResponse
 	if err := t.call(n, "/v1/node/detach", body, &resp); err != nil {
 		return nil, err
@@ -265,9 +288,10 @@ func (t *HTTPTransport) AttachDevice(n *Node, st *fleet.DeviceState) error {
 	if m := n.Manager(); m != nil {
 		return m.ImportDevice(st)
 	}
-	body := nodeAttachBody{Token: t.token(n.ID()), State: st}
+	body := nodeAttachBody{Token: t.token(n.ID()), Fence: t.Fence(), State: st}
 	return t.call(n, "/v1/node/attach", body, nil)
 }
 
 var _ Transport = (*HTTPTransport)(nil)
 var _ DeviceMover = (*HTTPTransport)(nil)
+var _ FencedTransport = (*HTTPTransport)(nil)

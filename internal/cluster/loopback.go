@@ -35,8 +35,59 @@ type LoopbackTransport struct {
 	met  *rpcMetrics
 	seed uint64
 
+	// dir, when non-nil, shares one NodeAPI per node across every
+	// transport attached to the same directory — the replicated
+	// coordination group's shape, where fencing state must be a
+	// node-side property, not a per-transport one. owner prefixes
+	// idempotency tokens so two replicas' counters never collide in
+	// the shared dedupe cache.
+	dir   *NodeAPIDirectory
+	owner string
+
+	fenceMu sync.Mutex
+	fence   FencingToken
+
 	mu    sync.Mutex
 	nodes map[string]*lbNode
+}
+
+// NodeAPIDirectory is the shared node plane for a set of loopback
+// transports: one NodeAPI (dedupe cache + fencing state) per node,
+// handed to every transport that attaches. It models what a real
+// deployment gets for free — the node process is one place, no matter
+// how many coordinators dial it.
+type NodeAPIDirectory struct {
+	mu   sync.Mutex
+	apis map[string]*NodeAPI
+}
+
+// NewNodeAPIDirectory builds an empty shared node plane.
+func NewNodeAPIDirectory() *NodeAPIDirectory {
+	return &NodeAPIDirectory{apis: make(map[string]*NodeAPI)}
+}
+
+// Get returns (creating on first use) the node's shared API.
+func (d *NodeAPIDirectory) Get(n *Node) *NodeAPI {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.apis[n.ID()]
+	if !ok {
+		a = NewNodeAPI(n, 0)
+		d.apis[n.ID()] = a
+	}
+	return a
+}
+
+// FencingRejections sums stale-term rejections across every node in
+// the directory.
+func (d *NodeAPIDirectory) FencingRejections() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, a := range d.apis {
+		total += a.FencingRejections()
+	}
+	return total
 }
 
 // lbNode is one node's transport-side state, guarded by its own lock
@@ -88,8 +139,38 @@ func NewLoopbackTransport(pol RPCPolicy, plan *faults.NodePlan, seed uint64, reg
 	}, nil
 }
 
+// NewSharedLoopbackTransport builds a loopback transport whose node
+// APIs come from a shared directory — several transports (one per
+// coordinator replica) attached to the same directory dial the same
+// node-side dedupe caches and fencing state. owner disambiguates this
+// transport's idempotency tokens in the shared caches.
+func NewSharedLoopbackTransport(pol RPCPolicy, plan *faults.NodePlan, seed uint64, reg *obs.Registry, dir *NodeAPIDirectory, owner string) (*LoopbackTransport, error) {
+	t, err := NewLoopbackTransport(pol, plan, seed, reg)
+	if err != nil {
+		return nil, err
+	}
+	t.dir = dir
+	t.owner = owner
+	return t, nil
+}
+
 // Faults returns the transport's fault evaluator, or nil.
 func (t *LoopbackTransport) Faults() *faults.NodeFaults { return t.nf }
+
+// SetFence implements FencedTransport: subsequent RPCs carry the
+// token.
+func (t *LoopbackTransport) SetFence(tok FencingToken) {
+	t.fenceMu.Lock()
+	t.fence = tok
+	t.fenceMu.Unlock()
+}
+
+// Fence returns the transport's current fencing token.
+func (t *LoopbackTransport) Fence() FencingToken {
+	t.fenceMu.Lock()
+	defer t.fenceMu.Unlock()
+	return t.fence
+}
 
 // BeginRound advances the fault plan one heartbeat round; the
 // coordinator calls it under its lock at the top of every Tick.
@@ -122,13 +203,27 @@ func (t *LoopbackTransport) node(n *Node) *lbNode {
 		for i := 0; i < len(n.ID()); i++ {
 			h = (h ^ uint64(n.ID()[i])) * 1099511628211
 		}
+		api := NewNodeAPI(n, 0)
+		if t.dir != nil {
+			api = t.dir.Get(n)
+		}
 		ln = &lbNode{
-			api: NewNodeAPI(n, 0),
+			api: api,
 			rng: simclock.NewRNG(t.seed ^ h ^ 0x6c6f6f70), // "loop"
 		}
 		t.nodes[n.ID()] = ln
 	}
 	return ln
+}
+
+// token allocates the next idempotency token for a node, prefixed
+// with the transport's owner when the node plane is shared.
+func (t *LoopbackTransport) token(ln *lbNode, n *Node) string {
+	ln.tokens++
+	if t.owner != "" {
+		return fmt.Sprintf("%s/%s-%d", t.owner, n.ID(), ln.tokens)
+	}
+	return fmt.Sprintf("%s-%d", n.ID(), ln.tokens)
 }
 
 // Heartbeat implements Transport: heartbeat-loss and partition
@@ -140,7 +235,7 @@ func (t *LoopbackTransport) Heartbeat(n *Node) (time.Duration, error) {
 	}
 	ln := t.node(n)
 	ln.mu.Lock()
-	_, err := ln.api.Heartbeat()
+	_, err := ln.api.Heartbeat(t.Fence())
 	ln.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -160,8 +255,7 @@ func (t *LoopbackTransport) Submit(n *Node, reqs []fleet.Request) ([]fleet.Resul
 	ln.mu.Lock()
 	defer ln.mu.Unlock()
 
-	ln.tokens++
-	token := fmt.Sprintf("%s-%d", n.ID(), ln.tokens)
+	token := t.token(ln, n)
 	var opCost time.Duration
 	finish := func(res []fleet.Result, err error) ([]fleet.Result, error) {
 		ln.stats.Cost += opCost
@@ -193,6 +287,9 @@ func (t *LoopbackTransport) Submit(n *Node, reqs []fleet.Request) ([]fleet.Resul
 	}
 }
 
+var _ Transport = (*LoopbackTransport)(nil)
+var _ FencedTransport = (*LoopbackTransport)(nil)
+
 // attempt runs one submit RPC attempt. timedOut marks attempts that
 // burned the full deadline and are worth retrying; err is always set
 // when timedOut is.
@@ -211,9 +308,9 @@ func (t *LoopbackTransport) attempt(ln *lbNode, n *Node, token string, reqs []fl
 
 	// Deliver — twice under an RPCDuplicate window; the node API's
 	// token dedupe collapses the pair to one execution.
-	res, err = ln.api.Submit(token, reqs)
+	res, err = ln.api.Submit(t.Fence(), token, reqs)
 	if t.nf != nil && t.nf.RPCDuplicated(id) {
-		res, err = ln.api.Submit(token, reqs)
+		res, err = ln.api.Submit(t.Fence(), token, reqs)
 	}
 	if err != nil {
 		return nil, directRTT, false, err

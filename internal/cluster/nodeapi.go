@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ssdcheck/internal/fleet"
+	"ssdcheck/internal/obs"
 )
 
 // NodeAPI is the node-side RPC surface: heartbeat, submit, and the
@@ -15,18 +16,29 @@ import (
 // retrying after a lost response — or a network that delivers a
 // request twice — applies each logical operation exactly once.
 //
+// Every operation also carries a fencing token (see fence.go): the
+// node remembers the highest term it has witnessed and rejects older
+// terms with ErrStaleTerm before touching dedupe state or devices, so
+// a superseded coordinator cannot drive this node no matter how live
+// its process still is. Term 0 (unfenced legacy traffic) is always
+// accepted.
+//
 // The same NodeAPI backs both deployment shapes: the ssdcheckd daemon
 // mounts it under /v1/node/* (via NodeAPIHandler), and the in-memory
-// loopback transport calls it directly, so the dedupe path the chaos
-// tests exercise hermetically is byte-for-byte the one real processes
-// run.
+// loopback transport calls it directly, so the dedupe and fencing
+// paths the chaos tests exercise hermetically are byte-for-byte the
+// ones real processes run.
 type NodeAPI struct {
 	n *Node
 
-	mu    sync.Mutex
-	seen  map[string]apiOutcome
-	order []string // token FIFO for bounded eviction
-	cap   int
+	mu      sync.Mutex
+	seen    map[string]apiOutcome
+	order   []string // token FIFO for bounded eviction
+	cap     int
+	term    int64  // highest fenced term witnessed
+	leader  string // the replica holding that term
+	rejects int64  // stale-term rejections
+	cRej    *obs.Counter
 }
 
 // apiOutcome is one remembered operation result.
@@ -42,11 +54,55 @@ func NewNodeAPI(n *Node, tokenCap int) *NodeAPI {
 	if tokenCap <= 0 {
 		tokenCap = 1024
 	}
-	return &NodeAPI{n: n, seen: make(map[string]apiOutcome), cap: tokenCap}
+	a := &NodeAPI{n: n, seen: make(map[string]apiOutcome), cap: tokenCap}
+	if reg := n.Registry(); reg != nil {
+		a.cRej = reg.Counter("ssdcheck_node_fencing_rejections_total",
+			"Node-plane RPCs rejected for carrying a stale coordination term.")
+	}
+	return a
 }
 
 // Node returns the wrapped member.
 func (a *NodeAPI) Node() *Node { return a.n }
+
+// checkFence admits or rejects one RPC's fencing token. A token ahead
+// of the witnessed term adopts it (the node has just heard from a
+// newer leader); a token behind it is rejected authoritatively.
+func (a *NodeAPI) checkFence(tok FencingToken) error {
+	if tok.Term == 0 {
+		return nil // unfenced legacy coordinator
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if tok.Term < a.term {
+		a.rejects++
+		if a.cRej != nil {
+			a.cRej.Inc()
+		}
+		return fmt.Errorf("node %q: term %d from %q behind fenced term %d (leader %q): %w",
+			a.n.ID(), tok.Term, tok.Leader, a.term, a.leader, ErrStaleTerm)
+	}
+	if tok.Term > a.term {
+		a.term, a.leader = tok.Term, tok.Leader
+	}
+	return nil
+}
+
+// FencedTerm returns the highest term the node has witnessed and the
+// leader holding it (0, "" before any fenced traffic).
+func (a *NodeAPI) FencedTerm() (int64, string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.term, a.leader
+}
+
+// FencingRejections returns how many RPCs the node has rejected for
+// carrying a stale term.
+func (a *NodeAPI) FencingRejections() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rejects
+}
 
 // replay returns the remembered outcome for a token, if any.
 func (a *NodeAPI) replay(token string) (apiOutcome, bool) {
@@ -72,14 +128,24 @@ func (a *NodeAPI) remember(token string, out apiOutcome) {
 }
 
 // Heartbeat answers a liveness probe with the node's device count.
-// Heartbeats are idempotent by nature and carry no token.
-func (a *NodeAPI) Heartbeat() (int, error) {
+// Heartbeats are idempotent by nature and carry no idempotency token,
+// but they do carry the fencing token — a stale leader's probes bounce
+// like everything else, which is how it learns it was superseded.
+func (a *NodeAPI) Heartbeat(tok FencingToken) (int, error) {
+	if err := a.checkFence(tok); err != nil {
+		return 0, err
+	}
 	return a.n.Heartbeat()
 }
 
 // Submit serves a batch, exactly once per token: a duplicate token
-// replays the original results without touching the devices.
-func (a *NodeAPI) Submit(token string, reqs []fleet.Request) ([]fleet.Result, error) {
+// replays the original results without touching the devices. The
+// fence check runs first — a rejected submit never executed, so the
+// superseding coordinator may safely re-issue the work.
+func (a *NodeAPI) Submit(tok FencingToken, token string, reqs []fleet.Request) ([]fleet.Result, error) {
+	if err := a.checkFence(tok); err != nil {
+		return nil, err
+	}
 	if token == "" {
 		return nil, fmt.Errorf("node %q: submit without idempotency token", a.n.ID())
 	}
@@ -98,7 +164,10 @@ func (a *NodeAPI) Submit(token string, reqs []fleet.Request) ([]fleet.Result, er
 // Attach imports a device's wire state into the node's fleet, exactly
 // once per token: a retried attach after a lost response replays the
 // original success instead of failing on the duplicate device ID.
-func (a *NodeAPI) Attach(token string, st *fleet.DeviceState) error {
+func (a *NodeAPI) Attach(tok FencingToken, token string, st *fleet.DeviceState) error {
+	if err := a.checkFence(tok); err != nil {
+		return err
+	}
 	if token == "" {
 		return fmt.Errorf("node %q: attach without idempotency token", a.n.ID())
 	}
@@ -119,7 +188,10 @@ func (a *NodeAPI) Attach(token string, st *fleet.DeviceState) error {
 // replays the original state instead of failing on the now-missing
 // device. Detach works on a stopped node — salvaging devices off a
 // dead member is what failover is.
-func (a *NodeAPI) Detach(token, device string) (*fleet.DeviceState, error) {
+func (a *NodeAPI) Detach(tok FencingToken, token, device string) (*fleet.DeviceState, error) {
+	if err := a.checkFence(tok); err != nil {
+		return nil, err
+	}
 	if token == "" {
 		return nil, fmt.Errorf("node %q: detach without idempotency token", a.n.ID())
 	}

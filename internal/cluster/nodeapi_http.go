@@ -23,8 +23,13 @@ type wireRequest struct {
 	Sectors int         `json:"sectors"`
 }
 
+type nodeHeartbeatBody struct {
+	Fence FencingToken `json:"fence,omitempty"`
+}
+
 type nodeSubmitBody struct {
 	Token    string        `json:"token"`
+	Fence    FencingToken  `json:"fence,omitempty"`
 	Requests []wireRequest `json:"requests"`
 }
 
@@ -40,12 +45,14 @@ type nodeHeartbeatResponse struct {
 
 type nodeAttachBody struct {
 	Token string             `json:"token"`
+	Fence FencingToken       `json:"fence,omitempty"`
 	State *fleet.DeviceState `json:"state"`
 }
 
 type nodeDetachBody struct {
-	Token  string `json:"token"`
-	Device string `json:"device"`
+	Token  string       `json:"token"`
+	Fence  FencingToken `json:"fence,omitempty"`
+	Device string       `json:"device"`
 }
 
 type nodeDetachResponse struct {
@@ -74,10 +81,14 @@ func fromWire(reqs []wireRequest) []fleet.Request {
 }
 
 // nodeAPIStatus maps node API errors onto HTTP statuses the transport
-// distinguishes: 503 for a down node (retryable reachability), 404
-// and 409 for addressing mistakes (not retryable), 500 otherwise.
+// distinguishes: 503 for a down node (retryable reachability), 412
+// for a stale fencing term (authoritative: the caller was superseded
+// and must demote), 404 and 409 for addressing mistakes (not
+// retryable), 500 otherwise.
 func nodeAPIStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrStaleTerm):
+		return http.StatusPreconditionFailed
 	case errors.Is(err, ErrNodeDown), errors.Is(err, fleet.ErrManagerClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, fleet.ErrUnknownDevice):
@@ -105,15 +116,22 @@ func nodeAPIError(w http.ResponseWriter, status int, err error) {
 // mounts it under /v1/node/ (strip the prefix before routing); tests
 // and benchmarks mount it on httptest servers. Routes, all POST:
 //
-//	/heartbeat  {}                     → {node, devices}
-//	/submit     {token, requests[]}    → {node, results[]}
-//	/attach     {token, state}         → {node}
-//	/detach     {token, device}        → {node, state}
+//	/heartbeat  {fence?}                     → {node, devices}
+//	/submit     {token, fence?, requests[]}  → {node, results[]}
+//	/attach     {token, fence?, state}       → {node}
+//	/detach     {token, fence?, device}      → {node, state}
+//
+// A stale fencing term answers 412 (Precondition Failed) before any
+// state is touched.
 func NodeAPIHandler(a *NodeAPI) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
-		n, err := a.Heartbeat()
+		// The body is optional: legacy probes post {}, fenced
+		// coordinators post {fence}. Decode errors read as unfenced.
+		var body nodeHeartbeatBody
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		n, err := a.Heartbeat(body.Fence)
 		if err != nil {
 			nodeAPIError(w, nodeAPIStatus(err), err)
 			return
@@ -127,7 +145,7 @@ func NodeAPIHandler(a *NodeAPI) http.Handler {
 			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		res, err := a.Submit(body.Token, fromWire(body.Requests))
+		res, err := a.Submit(body.Fence, body.Token, fromWire(body.Requests))
 		if err != nil {
 			nodeAPIError(w, nodeAPIStatus(err), err)
 			return
@@ -141,7 +159,7 @@ func NodeAPIHandler(a *NodeAPI) http.Handler {
 			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		if err := a.Attach(body.Token, body.State); err != nil {
+		if err := a.Attach(body.Fence, body.Token, body.State); err != nil {
 			nodeAPIError(w, nodeAPIStatus(err), err)
 			return
 		}
@@ -154,7 +172,7 @@ func NodeAPIHandler(a *NodeAPI) http.Handler {
 			nodeAPIError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		st, err := a.Detach(body.Token, body.Device)
+		st, err := a.Detach(body.Fence, body.Token, body.Device)
 		if err != nil {
 			nodeAPIError(w, nodeAPIStatus(err), err)
 			return

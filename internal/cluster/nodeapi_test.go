@@ -36,14 +36,14 @@ func TestNodeAPISubmitDedupe(t *testing.T) {
 	api := NewNodeAPI(n, 0)
 	base := served(n)
 
-	res1, err := api.Submit("tok-1", apiReqs("dev-a"))
+	res1, err := api.Submit(FencingToken{}, "tok-1", apiReqs("dev-a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := served(n) - base; got != 1 {
 		t.Fatalf("first submit served %d requests, want 1", got)
 	}
-	res2, err := api.Submit("tok-1", apiReqs("dev-a"))
+	res2, err := api.Submit(FencingToken{}, "tok-1", apiReqs("dev-a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestNodeAPISubmitDedupe(t *testing.T) {
 	if !reflect.DeepEqual(res1, res2) {
 		t.Fatalf("replayed results differ:\n%+v\n%+v", res1, res2)
 	}
-	if _, err := api.Submit("tok-2", apiReqs("dev-a")); err != nil {
+	if _, err := api.Submit(FencingToken{}, "tok-2", apiReqs("dev-a")); err != nil {
 		t.Fatal(err)
 	}
 	if got := served(n) - base; got != 2 {
@@ -70,11 +70,11 @@ func TestNodeAPIStoppedSubmitNotRemembered(t *testing.T) {
 	base := served(n)
 
 	n.Stop()
-	if _, err := api.Submit("tok-s", apiReqs("dev-a")); !errors.Is(err, ErrNodeDown) {
+	if _, err := api.Submit(FencingToken{}, "tok-s", apiReqs("dev-a")); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("stopped-node submit err = %v, want ErrNodeDown", err)
 	}
 	n.Resume()
-	res, err := api.Submit("tok-s", apiReqs("dev-a"))
+	res, err := api.Submit(FencingToken{}, "tok-s", apiReqs("dev-a"))
 	if err != nil {
 		t.Fatalf("retry after resume replayed the failure: %v", err)
 	}
@@ -95,37 +95,37 @@ func TestNodeAPIAttachDetachDedupe(t *testing.T) {
 	dst := apiNode(t, "api-dst", nil)
 	apiSrc, apiDst := NewNodeAPI(src, 0), NewNodeAPI(dst, 0)
 
-	st, err := apiSrc.Detach("d-1", "dev-a")
+	st, err := apiSrc.Detach(FencingToken{}, "d-1", "dev-a")
 	if err != nil || st == nil {
 		t.Fatalf("detach: st=%v err=%v", st, err)
 	}
 	if ids := src.Manager().DeviceIDs(); len(ids) != 0 {
 		t.Fatalf("source still holds %v after detach", ids)
 	}
-	st2, err := apiSrc.Detach("d-1", "dev-a") // replay: device long gone
+	st2, err := apiSrc.Detach(FencingToken{}, "d-1", "dev-a") // replay: device long gone
 	if err != nil {
 		t.Fatalf("replayed detach failed: %v", err)
 	}
 	if !reflect.DeepEqual(st, st2) {
 		t.Fatal("replayed detach returned different state")
 	}
-	if _, err := apiSrc.Detach("d-2", "dev-a"); err == nil {
+	if _, err := apiSrc.Detach(FencingToken{}, "d-2", "dev-a"); err == nil {
 		t.Fatal("fresh-token detach of a missing device succeeded")
 	}
 
-	if err := apiDst.Attach("a-1", st); err != nil {
+	if err := apiDst.Attach(FencingToken{}, "a-1", st); err != nil {
 		t.Fatal(err)
 	}
-	if err := apiDst.Attach("a-1", st); err != nil { // replay
+	if err := apiDst.Attach(FencingToken{}, "a-1", st); err != nil { // replay
 		t.Fatalf("replayed attach failed: %v", err)
 	}
-	if err := apiDst.Attach("a-2", st); err == nil {
+	if err := apiDst.Attach(FencingToken{}, "a-2", st); err == nil {
 		t.Fatal("fresh-token duplicate attach succeeded")
 	}
 	if ids := dst.Manager().DeviceIDs(); len(ids) != 1 || ids[0] != "dev-a" {
 		t.Fatalf("destination holds %v, want [dev-a]", ids)
 	}
-	res, err := apiDst.Submit("s-1", apiReqs("dev-a"))
+	res, err := apiDst.Submit(FencingToken{}, "s-1", apiReqs("dev-a"))
 	if err != nil || res[0].Err != nil {
 		t.Fatalf("submit on migrated device: %v / %+v", err, res)
 	}
@@ -139,17 +139,17 @@ func TestNodeAPITokenEviction(t *testing.T) {
 	base := served(n)
 
 	for _, tok := range []string{"t-1", "t-2", "t-3"} { // t-1 evicted at t-3
-		if _, err := api.Submit(tok, apiReqs("dev-a")); err != nil {
+		if _, err := api.Submit(FencingToken{}, tok, apiReqs("dev-a")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := api.Submit("t-2", apiReqs("dev-a")); err != nil { // still cached
+	if _, err := api.Submit(FencingToken{}, "t-2", apiReqs("dev-a")); err != nil { // still cached
 		t.Fatal(err)
 	}
 	if got := served(n) - base; got != 3 {
 		t.Fatalf("cached replay re-executed: served %d, want 3", got)
 	}
-	if _, err := api.Submit("t-1", apiReqs("dev-a")); err != nil { // evicted: runs again
+	if _, err := api.Submit(FencingToken{}, "t-1", apiReqs("dev-a")); err != nil { // evicted: runs again
 		t.Fatal(err)
 	}
 	if got := served(n) - base; got != 4 {
@@ -162,13 +162,13 @@ func TestNodeAPITokenEviction(t *testing.T) {
 func TestNodeAPIEmptyToken(t *testing.T) {
 	n := apiNode(t, "api-d", clusterSpecs()[:1])
 	api := NewNodeAPI(n, 0)
-	if _, err := api.Submit("", apiReqs("dev-a")); err == nil {
+	if _, err := api.Submit(FencingToken{}, "", apiReqs("dev-a")); err == nil {
 		t.Error("tokenless submit succeeded")
 	}
-	if _, err := api.Detach("", "dev-a"); err == nil {
+	if _, err := api.Detach(FencingToken{}, "", "dev-a"); err == nil {
 		t.Error("tokenless detach succeeded")
 	}
-	if err := api.Attach("", &fleet.DeviceState{}); err == nil {
+	if err := api.Attach(FencingToken{}, "", &fleet.DeviceState{}); err == nil {
 		t.Error("tokenless attach succeeded")
 	}
 }

@@ -29,6 +29,22 @@ func (c *Coordinator) walAppendLocked(rec walRecord) error {
 	return nil
 }
 
+// proposeLocked makes one decision durable before the mutation it
+// describes is applied: a replicated coordinator routes the record
+// through its replica (quorum acknowledgement, see replica.go), a
+// standalone durable coordinator fsyncs it to the local WAL, and a
+// WAL-less coordinator proceeds immediately. A no-op during replay —
+// the record is already durable in whoever's log is being replayed.
+func (c *Coordinator) proposeLocked(rec walRecord) error {
+	if c.replaying {
+		return nil
+	}
+	if c.rep != nil {
+		return c.rep.propose(rec)
+	}
+	return c.walAppendLocked(rec)
+}
+
 // snapshotLocked captures the coordinator's full deterministic state.
 func (c *Coordinator) snapshotLocked() *walSnapshot {
 	snap := &walSnapshot{
@@ -139,6 +155,10 @@ func (c *Coordinator) applyRecord(rec walRecord, resolve NodeResolver) error {
 			}
 			c.breakerOutcomeLocked(mb, rec.Failed[i])
 		}
+		return nil
+	case "noop":
+		// A new leader's commit assertion: replicated for its index,
+		// applies nothing.
 		return nil
 	default:
 		return fmt.Errorf("cluster: unknown WAL record type %q", rec.Type)

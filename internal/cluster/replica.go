@@ -1,0 +1,606 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ssdcheck/internal/obs"
+)
+
+// Replicated coordination: a raft-lite placement log. The group's
+// leader runs the real Coordinator; every would-be WAL record is
+// appended to the leader's replicated log and streamed to the standby
+// replicas, and the mutation it describes applies only once a quorum
+// holds the record. Standbys replay committed records into shadow
+// coordinators (permanently in replaying mode: bookkeeping only, no
+// physical device moves, which already happened on the leader), so any
+// of them can take over with the full placement/health/breaker state
+// machines already warm.
+//
+// Entries are (term, index)-stamped. Terms are leadership epochs:
+// adopted and persisted before any action under them, compared on
+// every peer append, and carried onto the node plane as the fencing
+// token — the mechanism that makes two leaders from one WAL lineage
+// safe (the stale one's node RPCs bounce with ErrStaleTerm and it
+// demotes). The usual raft safety argument applies in miniature: a
+// committed entry is on a quorum, every electable winner's log
+// contains it (elections require a quorum of reachable peers and pick
+// the longest log), and uncommitted entries never drive a physical
+// move, so failover can lose nothing that was promised and apply
+// nothing twice.
+
+// Role is a replica's position in the group.
+type Role uint8
+
+const (
+	// RoleFollower replays committed entries into a standby
+	// coordinator.
+	RoleFollower Role = iota
+	// RoleLeader runs the live coordinator and streams the log.
+	RoleLeader
+)
+
+// String names the role for logs and JSON.
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// MarshalText renders the role name in JSON.
+func (r Role) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText parses a role name, so status payloads round-trip.
+func (r *Role) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "follower":
+		*r = RoleFollower
+	case "leader":
+		*r = RoleLeader
+	default:
+		return fmt.Errorf("cluster: unknown role %q", b)
+	}
+	return nil
+}
+
+// LogEntry is one replicated coordinator decision: a WAL record
+// stamped with the leadership term it was proposed under and its
+// 1-based position in the log.
+type LogEntry struct {
+	Term  int64     `json:"term"`
+	Index int64     `json:"index"`
+	Rec   walRecord `json:"rec"`
+}
+
+// AppendRequest is the leader→follower replication message: every
+// entry past what the leader believes the follower holds, plus the
+// leader's commit index for the follower to apply up to.
+type AppendRequest struct {
+	// Term and Leader identify the sender's epoch.
+	Term   int64  `json:"term"`
+	Leader string `json:"leader"`
+	// Prev is the index the Entries extend from (the follower must
+	// hold entries 1..Prev).
+	Prev int64 `json:"prev"`
+	// Entries are the log records from Prev+1 on.
+	Entries []LogEntry `json:"entries,omitempty"`
+	// Commit is the leader's commit index; the follower applies its
+	// log up to min(Commit, len(log)).
+	Commit int64 `json:"commit"`
+}
+
+// AppendResponse is the follower's answer.
+type AppendResponse struct {
+	// Term is the follower's (possibly newer) term; a response term
+	// above the sender's own means the sender has been superseded.
+	Term int64 `json:"term"`
+	// Ok reports whether the entries were accepted.
+	Ok bool `json:"ok"`
+	// LastIndex is the follower's log length after the call — the
+	// leader's next Prev for this peer.
+	LastIndex int64 `json:"last_index"`
+}
+
+// PeerStatus is one replica's election-relevant state.
+type PeerStatus struct {
+	ID        string `json:"id"`
+	Term      int64  `json:"term"`
+	LastIndex int64  `json:"last_index"`
+	LastTerm  int64  `json:"last_term"`
+}
+
+// ReplicaStatus is one replica's point-in-time view for status
+// surfaces and tests.
+type ReplicaStatus struct {
+	ID            string `json:"id"`
+	Role          Role   `json:"role"`
+	Term          int64  `json:"term"`
+	Commit        int64  `json:"commit"`
+	Applied       int64  `json:"applied"`
+	LastIndex     int64  `json:"last_index"`
+	Leader        string `json:"leader,omitempty"`
+	Crashed       bool   `json:"crashed,omitempty"`
+	Partitioned   bool   `json:"partitioned,omitempty"`
+	FailedCommits int    `json:"failed_commits,omitempty"`
+}
+
+// Replica is one member of the coordination group: a durable
+// (term, log) pair, a shadow or live coordinator, and the replication
+// protocol endpoints. All replica state is guarded by the owning
+// Group's lock — the group drives every replica from its own
+// single-threaded Tick/Submit calls, so replicas carry no lock of
+// their own and propose can be invoked from a coordinator that already
+// runs under the group.
+type Replica struct {
+	id  string
+	grp *Group
+
+	// Durable state — survives crashes. In directory mode it lives in
+	// <dir>/<id>/{log.jsonl,meta.json}; in memory mode these fields
+	// themselves play the disk (a crash clears only the volatile state
+	// below).
+	term int64
+	log  []LogEntry
+
+	// Volatile state — reset by a crash.
+	role          Role
+	leader        string           // leader last heard from
+	commit        int64            // highest quorum-acknowledged index
+	applied       int64            // highest index applied into coord
+	lastHeard     int64            // group round a leader was last heard in
+	match         map[string]int64 // leader-only: per-peer replicated index
+	failedCommits int              // consecutive proposals without quorum
+	crashed       bool
+	deposed       bool  // a newer term was witnessed; settle demotes
+	leasePinned   bool  // chaos: refuse lease-lapse demotion (dueling leader)
+	applyErr      error // first standby-apply failure, surfaced by status
+
+	coord *Coordinator // live when leader, standby otherwise
+	tr    *LoopbackTransport
+
+	// Persistence handles, nil in memory mode.
+	dir  string
+	logF *os.File
+	logW *bufio.Writer
+
+	gTerm, gLeader *obs.Gauge
+}
+
+const (
+	replicaLogFile  = "log.jsonl"
+	replicaMetaFile = "meta.json"
+	replicaMetaTemp = "meta.json.tmp"
+)
+
+// replicaMeta is the durable term marker. The term must hit disk
+// before any action under it — a restarted replica that forgot its
+// term could accept appends from a leader it already helped supersede.
+type replicaMeta struct {
+	Term int64 `json:"term"`
+}
+
+// ID returns the replica's group-unique identifier.
+func (r *Replica) ID() string { return r.id }
+
+// openStorage loads the durable (term, log) pair from the replica's
+// directory, truncating a torn tail the same way the coordinator WAL
+// does, and leaves the log file open for appends. A no-op in memory
+// mode.
+func (r *Replica) openStorage() error {
+	if r.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: replica %q: opening log dir: %w", r.id, err)
+	}
+	if err := removeStaleTemps(r.dir); err != nil {
+		return err
+	}
+
+	if buf, err := os.ReadFile(filepath.Join(r.dir, replicaMetaFile)); err == nil {
+		var meta replicaMeta
+		if err := json.Unmarshal(buf, &meta); err != nil {
+			return fmt.Errorf("cluster: replica %q: corrupt meta: %w", r.id, err)
+		}
+		r.term = meta.Term
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: replica %q: reading meta: %w", r.id, err)
+	}
+
+	path := filepath.Join(r.dir, replicaLogFile)
+	r.log = nil
+	var keep int64
+	if buf, err := os.ReadFile(path); err == nil {
+		keep = scanJSONLines(buf, func(line []byte) error {
+			var e LogEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				return err
+			}
+			if e.Index != int64(len(r.log))+1 {
+				return fmt.Errorf("cluster: replica %q: log gap at index %d", r.id, e.Index)
+			}
+			r.log = append(r.log, e)
+			return nil
+		})
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: replica %q: reading log: %w", r.id, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: replica %q: opening log: %w", r.id, err)
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: replica %q: truncating torn log tail: %w", r.id, err)
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: replica %q: seeking log: %w", r.id, err)
+	}
+	r.logF, r.logW = f, bufio.NewWriter(f)
+	return nil
+}
+
+// closeStorage releases the log file handle (crash, shutdown).
+func (r *Replica) closeStorage() {
+	if r.logF != nil {
+		_ = r.logW.Flush()
+		_ = r.logF.Close()
+		r.logF, r.logW = nil, nil
+	}
+}
+
+// persistTerm makes the current term durable: write a temporary,
+// fsync, rename — the same atomic-install discipline the WAL snapshot
+// uses. A no-op in memory mode (the field is the disk).
+func (r *Replica) persistTerm() error {
+	if r.dir == "" {
+		return nil
+	}
+	buf, err := json.Marshal(replicaMeta{Term: r.term})
+	if err != nil {
+		return fmt.Errorf("cluster: replica %q: encoding meta: %w", r.id, err)
+	}
+	tmp := filepath.Join(r.dir, replicaMetaTemp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: replica %q: writing meta: %w", r.id, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: replica %q: writing meta: %w", r.id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: replica %q: syncing meta: %w", r.id, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: replica %q: closing meta: %w", r.id, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, replicaMetaFile)); err != nil {
+		return fmt.Errorf("cluster: replica %q: installing meta: %w", r.id, err)
+	}
+	return nil
+}
+
+// appendDurable fsyncs one appended entry. A no-op in memory mode.
+func (r *Replica) appendDurable(e LogEntry) error {
+	if r.logF == nil {
+		return nil
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cluster: replica %q: encoding entry: %w", r.id, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := r.logW.Write(buf); err != nil {
+		return fmt.Errorf("cluster: replica %q: appending entry: %w", r.id, err)
+	}
+	if err := r.logW.Flush(); err != nil {
+		return fmt.Errorf("cluster: replica %q: flushing log: %w", r.id, err)
+	}
+	if err := r.logF.Sync(); err != nil {
+		return fmt.Errorf("cluster: replica %q: syncing log: %w", r.id, err)
+	}
+	return nil
+}
+
+// truncateDurable rewrites the on-disk log to the in-memory prefix
+// after a conflict truncation. Conflicts are rare (one divergent
+// uncommitted tail per deposed leader), so a full rewrite keeps the
+// format append-only-simple. A no-op in memory mode.
+func (r *Replica) truncateDurable() error {
+	if r.logF == nil {
+		return nil
+	}
+	if err := r.logF.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: replica %q: truncating log: %w", r.id, err)
+	}
+	if _, err := r.logF.Seek(0, 0); err != nil {
+		return fmt.Errorf("cluster: replica %q: seeking log: %w", r.id, err)
+	}
+	r.logW.Reset(r.logF)
+	for _, e := range r.log {
+		if err := r.appendDurable(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// status captures the replica's election-relevant state.
+func (r *Replica) status() PeerStatus {
+	s := PeerStatus{ID: r.id, Term: r.term, LastIndex: int64(len(r.log))}
+	if len(r.log) > 0 {
+		s.LastTerm = r.log[len(r.log)-1].Term
+	}
+	return s
+}
+
+// applyUpTo replays committed log records into the replica's
+// coordinator through the resolver path, advancing applied. Noop
+// entries (leadership assertions) replicate for their index and apply
+// nothing.
+func (r *Replica) applyUpTo(idx int64) error {
+	for r.applied < idx {
+		r.applied++
+		rec := r.log[r.applied-1].Rec
+		if rec.Type == "noop" {
+			continue
+		}
+		if err := r.coord.applyReplicated(rec); err != nil {
+			return fmt.Errorf("cluster: replica %q: applying entry %d: %w", r.id, r.applied, err)
+		}
+	}
+	return nil
+}
+
+// propose implements the coordinator's proposer seam: append the
+// record to the leader's own log (fsynced), stream it to every
+// reachable peer in sorted order, and return nil only once a quorum
+// (the leader included) holds it. On quorum the entry commits — and so
+// does everything before it, including any tail left uncommitted by
+// earlier quorum failures. Called with the group's lock held (the
+// coordinator invoking it runs under Group.Tick/Submit).
+func (r *Replica) propose(rec walRecord) error {
+	if r.crashed {
+		return fmt.Errorf("replica %q: %w", r.id, ErrNodeDown)
+	}
+	if r.role != RoleLeader {
+		return fmt.Errorf("replica %q: %w", r.id, ErrNotLeader)
+	}
+	e := LogEntry{Term: r.term, Index: int64(len(r.log)) + 1, Rec: rec}
+	r.log = append(r.log, e)
+	if err := r.appendDurable(e); err != nil {
+		return err
+	}
+	acks := 1 // self
+	for _, pid := range r.grp.order {
+		if pid == r.id {
+			continue
+		}
+		p := r.grp.replicas[pid]
+		if p.crashed || !r.grp.linkUpLocked(r.id, pid) {
+			r.grp.hLag.Observe(time.Duration(e.Index - r.match[pid]))
+			continue
+		}
+		resp := p.handleAppend(AppendRequest{
+			Term:    r.term,
+			Leader:  r.id,
+			Prev:    r.match[pid],
+			Entries: append([]LogEntry(nil), r.log[r.match[pid]:]...),
+			Commit:  r.commit,
+		})
+		if resp.Term > r.term {
+			// A peer is ahead: this leadership is over. Adopt the term
+			// (durably) and report up; the group demotes at the next
+			// settle point.
+			r.term = resp.Term
+			if err := r.persistTerm(); err != nil {
+				return err
+			}
+			r.deposed = true
+			return fmt.Errorf("replica %q: peer at term %d: %w", r.id, resp.Term, ErrStaleTerm)
+		}
+		if resp.Ok {
+			r.match[pid] = resp.LastIndex
+			acks++
+		} else {
+			// Gap: resynchronize from what the peer actually holds.
+			r.match[pid] = resp.LastIndex
+		}
+		r.grp.hLag.Observe(time.Duration(e.Index - r.match[pid]))
+	}
+	if q := r.grp.quorum(); acks < q {
+		return fmt.Errorf("replica %q: %d/%d acks: %w", r.id, acks, q, ErrNoQuorum)
+	}
+	r.commit = e.Index
+	// The live coordinator applies the mutation itself when propose
+	// returns; track it as applied so a later demotion rebuilds from
+	// the right prefix.
+	r.applied = e.Index
+	return nil
+}
+
+// handleAppend is the follower-side replication endpoint: term check,
+// gap check, conflict truncation, append, and apply-to-commit. Called
+// with the group's lock held.
+func (p *Replica) handleAppend(req AppendRequest) AppendResponse {
+	if p.crashed {
+		return AppendResponse{Term: p.term}
+	}
+	if req.Term < p.term {
+		// Stale leader: reject so it learns the newer term.
+		return AppendResponse{Term: p.term}
+	}
+	if req.Term > p.term {
+		p.term = req.Term
+		if err := p.persistTerm(); err != nil && p.applyErr == nil {
+			p.applyErr = err
+		}
+		if p.role == RoleLeader {
+			// Two leaders, and the other one is newer: concede.
+			p.deposed = true
+		}
+	}
+	p.leader = req.Leader
+	p.lastHeard = p.grp.round
+	if req.Prev > int64(len(p.log)) {
+		return AppendResponse{Term: p.term, Ok: false, LastIndex: int64(len(p.log))}
+	}
+	for _, e := range req.Entries {
+		if e.Index <= int64(len(p.log)) {
+			if p.log[e.Index-1].Term == e.Term {
+				continue // already hold it
+			}
+			// Conflict: a deposed leader's uncommitted tail. Committed
+			// entries can never conflict (they are on every electable
+			// leader's log), so the truncation stays above commit.
+			if e.Index <= p.commit && p.applyErr == nil {
+				p.applyErr = fmt.Errorf("cluster: replica %q: conflict at committed index %d", p.id, e.Index)
+			}
+			p.log = p.log[:e.Index-1]
+			if err := p.truncateDurable(); err != nil && p.applyErr == nil {
+				p.applyErr = err
+			}
+		}
+		p.log = append(p.log, e)
+		if err := p.appendDurable(e); err != nil && p.applyErr == nil {
+			p.applyErr = err
+		}
+	}
+	if c := req.Commit; c > p.commit {
+		if l := int64(len(p.log)); c > l {
+			c = l
+		}
+		if c > p.commit {
+			p.commit = c
+		}
+	}
+	// A still-leader replica (dueling, about to be settled out) must
+	// not replay into its live coordinator; its standby is rebuilt from
+	// the committed prefix at demotion.
+	if p.role == RoleFollower {
+		if err := p.applyUpTo(p.commit); err != nil && p.applyErr == nil {
+			p.applyErr = err
+		}
+	}
+	return AppendResponse{Term: p.term, Ok: true, LastIndex: int64(len(p.log))}
+}
+
+// newStandbyCoordinator builds a replica's follower-side shadow
+// coordinator: permanently replaying — records apply as bookkeeping,
+// physical device moves and WAL appends are suppressed — until
+// activate flips it live at takeover. It gets a private registry;
+// cluster-visible metrics come from the active coordinator and the
+// group.
+func newStandbyCoordinator(pol Policy, tr Transport, resolve NodeResolver) (*Coordinator, error) {
+	c, err := NewCoordinator(pol, tr, obs.NewRegistry())
+	if err != nil {
+		return nil, err
+	}
+	c.replaying = true
+	c.resolver = resolve
+	return c, nil
+}
+
+// applyReplicated replays one committed log record through the
+// recovery path, resolving membership records with the coordinator's
+// resolver.
+func (c *Coordinator) applyReplicated(rec walRecord) error {
+	return c.applyRecord(rec, c.resolver)
+}
+
+// activate flips a standby coordinator live at takeover: replay mode
+// ends, proposals route through the replica, node-plane RPCs carry the
+// new term's fencing token, and fencing rejections report back through
+// onDeposed.
+func (c *Coordinator) activate(rep proposer, fence FencingToken, onDeposed func()) {
+	c.mu.Lock()
+	c.replaying = false
+	c.rep = rep
+	c.fence = fence
+	c.onDeposed = onDeposed
+	c.deposedSeen = false
+	tr := c.tr
+	c.mu.Unlock()
+	if ft, ok := tr.(FencedTransport); ok {
+		ft.SetFence(fence)
+	}
+}
+
+// Fence returns the coordinator's fencing token (zero when the
+// coordinator is standalone or standby).
+func (c *Coordinator) Fence() FencingToken {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fence
+}
+
+// fenceMembers pushes the new term onto the node plane: one
+// best-effort heartbeat per member, carrying the fencing token, so
+// every reachable node adopts the term immediately and a deposed
+// leader's next RPC bounces rather than racing the lease.
+func (c *Coordinator) fenceMembers() {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		nodes = append(nodes, c.members[id].node)
+	}
+	tr := c.tr
+	c.mu.Unlock()
+	for _, n := range nodes {
+		_, _ = tr.Heartbeat(n)
+	}
+}
+
+// Reconcile repairs physical placement drift after a failover: every
+// device whose actual holder (the member whose manager has it)
+// disagrees with the committed placement map is moved back to where
+// the log says it belongs. The repair is purely physical — no
+// placement entry, no seq bump — because the committed log is the
+// authority and reconciliation makes reality match it, so replicas
+// stay byte-identical whether or not a repair ran. Idempotent: a
+// device already home is left alone, and in the common case (the old
+// leader died between operations, not mid-move) nothing moves at all.
+// Returns the number of devices moved.
+func (c *Coordinator) Reconcile() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrCoordinatorClosed
+	}
+	holders := make(map[string]string)
+	for _, id := range c.order {
+		m := c.members[id].node.Manager()
+		if m == nil {
+			continue
+		}
+		for _, dev := range m.DeviceIDs() {
+			holders[dev] = id
+		}
+	}
+	moved := 0
+	for _, dev := range c.devOrder {
+		want := c.placement[dev]
+		have, ok := holders[dev]
+		if !ok || have == want {
+			continue
+		}
+		if err := c.moveDeviceLocked(dev, have, want); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}

@@ -32,7 +32,9 @@ import (
 
 // walRecord is one logged coordinator decision.
 type walRecord struct {
-	// Type is one of "join", "leave", "adopt", "tick", "submit".
+	// Type is one of "join", "leave", "adopt", "tick", "admit",
+	// "outcome", or "noop" (a replicated leader's commit assertion;
+	// applies no state).
 	Type string `json:"type"`
 	// Node is the member a join/leave concerns.
 	Node string `json:"node,omitempty"`
@@ -94,13 +96,65 @@ const (
 	walCompactAt = 256 // appends between automatic compactions
 )
 
+// scanJSONLines splits an append-only JSONL buffer into intact lines.
+// keep is the byte length of the intact prefix: a trailing line that
+// fails fn — torn mid-append by a crash — and anything after it are
+// excluded, so the caller can truncate the file back to keep and
+// resume appending cleanly. A final line without its newline
+// terminator is always dropped, even if it parses: the append's fsync
+// never completed, so the record was never durable, and keeping it
+// would leave the next append gluing two records onto one line.
+func scanJSONLines(buf []byte, fn func(line []byte) error) (keep int64) {
+	for len(buf) > 0 {
+		nl := -1
+		for i, b := range buf {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // unterminated tail: the write (or its fsync) was torn
+		}
+		if err := fn(buf[:nl]); err != nil {
+			break // torn tail: drop this line and anything after
+		}
+		keep += int64(nl) + 1
+		buf = buf[nl+1:]
+	}
+	return keep
+}
+
+// removeStaleTemps clears *.tmp files left in a log directory by a
+// crash mid-compaction: the snapshot temporary is written, fsynced,
+// then renamed over the real snapshot — a crash between the write and
+// the rename strands the temporary, which is never valid recovery
+// input and would otherwise accumulate forever.
+func removeStaleTemps(dir string) error {
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return fmt.Errorf("cluster: scanning stale temporaries: %w", err)
+	}
+	for _, tmp := range tmps {
+		if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("cluster: removing stale temporary %q: %w", tmp, err)
+		}
+	}
+	return nil
+}
+
 // OpenWAL opens (creating if needed) a coordinator WAL directory and
 // returns the handle plus the recovered snapshot and tail records.
 // snap is nil when no compaction has happened yet. A torn final line
-// — the signature of a crash mid-append — is dropped and truncated.
+// — the signature of a crash mid-append — is dropped and truncated,
+// and stale snapshot temporaries from a crash mid-compaction are
+// removed.
 func OpenWAL(dir string) (w *WAL, snap *walSnapshot, tail []walRecord, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("cluster: opening WAL dir: %w", err)
+	}
+	if err := removeStaleTemps(dir); err != nil {
+		return nil, nil, nil, err
 	}
 
 	if buf, err := os.ReadFile(filepath.Join(dir, walSnapFile)); err == nil {
@@ -115,31 +169,14 @@ func OpenWAL(dir string) (w *WAL, snap *walSnapshot, tail []walRecord, err error
 	path := filepath.Join(dir, walFile)
 	var keep int64 // bytes of intact records
 	if buf, err := os.ReadFile(path); err == nil {
-		for len(buf) > 0 {
-			nl := -1
-			for i, b := range buf {
-				if b == '\n' {
-					nl = i
-					break
-				}
-			}
-			line := buf
-			if nl >= 0 {
-				line = buf[:nl]
-			}
+		keep = scanJSONLines(buf, func(line []byte) error {
 			var rec walRecord
 			if err := json.Unmarshal(line, &rec); err != nil {
-				break // torn tail: drop this line and anything after
+				return err
 			}
 			tail = append(tail, rec)
-			if nl < 0 {
-				keep += int64(len(line))
-				buf = nil
-			} else {
-				keep += int64(nl) + 1
-				buf = buf[nl+1:]
-			}
-		}
+			return nil
+		})
 	} else if !os.IsNotExist(err) {
 		return nil, nil, nil, fmt.Errorf("cluster: reading WAL: %w", err)
 	}

@@ -172,3 +172,113 @@ func TestWALCompact(t *testing.T) {
 		t.Fatalf("post-compaction tail = %+v, want just %+v", tail, post)
 	}
 }
+
+// TestWALStaleTempCleanup: a crash between writing snapshot.json.tmp
+// and the rename strands the temp file; the next open must remove it
+// rather than ever mistaking it for (or renaming it over) real state.
+func TestWALStaleTempCleanup(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()[:2]
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a half-written snapshot temp from the "crashed" compaction.
+	tmp := filepath.Join(dir, walSnapTemp)
+	if err := os.WriteFile(tmp, []byte(`{"round":99,"seq":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, snap, tail, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if snap != nil {
+		t.Fatalf("stale temp surfaced as a snapshot: %+v", snap)
+	}
+	if !reflect.DeepEqual(tail, recs) {
+		t.Fatalf("tail = %+v, want %+v", tail, recs)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale %s survived reopen: %v", walSnapTemp, err)
+	}
+}
+
+// TestWALTornTailEveryOffset: property test — truncate the log at
+// every byte offset inside the final record. Every cut must recover
+// exactly the complete prefix records, and an append after recovery
+// must land on a clean line boundary.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walFile)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset of the final record's first byte: byte after the
+	// penultimate newline.
+	body := full[:len(full)-1] // strip trailing newline
+	lastStart := 0
+	for i, b := range body {
+		if b == '\n' {
+			lastStart = i + 1
+		}
+	}
+	prefix := recs[:len(recs)-1]
+
+	for cut := lastStart; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, snap, tail, err := OpenWAL(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d: %v", cut, err)
+		}
+		if snap != nil {
+			t.Fatalf("cut at byte %d: unexpected snapshot", cut)
+		}
+		// Every cut — including cut == len(full)-1, where only the
+		// newline terminator is missing — drops the final record: its
+		// fsync never completed, so it was never durable.
+		want := prefix
+		if !reflect.DeepEqual(tail, want) {
+			t.Fatalf("cut at byte %d: tail = %+v, want %+v", cut, tail, want)
+		}
+		extra := walRecord{Type: "leave", Node: "node-1"}
+		if err := w2.Append(extra); err != nil {
+			t.Fatalf("cut at byte %d: append: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, _, tail, err = OpenWAL(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d: reopen: %v", cut, err)
+		}
+		if wantAll := append(append([]walRecord(nil), want...), extra); !reflect.DeepEqual(tail, wantAll) {
+			t.Fatalf("cut at byte %d: post-append tail = %+v, want %+v", cut, tail, wantAll)
+		}
+	}
+}

@@ -269,7 +269,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestRegistryRunsEverything(t *testing.T) {
-	if len(Names()) != 20 {
+	if len(Names()) != 21 {
 		t.Fatalf("registry has %d entries", len(Names()))
 	}
 	var buf bytes.Buffer
@@ -468,6 +468,54 @@ func TestECVolShape(t *testing.T) {
 	}
 	out := renderNonEmpty(t, r)
 	if !strings.Contains(out, "predictive wins p99.9") || !strings.Contains(out, "all reads verified") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestQuorumShape(t *testing.T) {
+	r := Quorum(small())
+	if r.Replicas != 3 || r.Nodes != 3 || r.Devices != 4 || len(r.Legs) != 2 {
+		t.Fatalf("shape: %+v", r)
+	}
+	for _, leg := range r.Legs {
+		if leg.Deferred == 0 {
+			t.Fatalf("shards=%d: chaos produced no unavailable window", leg.Shards)
+		}
+		// The availability claim: no outage outruns lease + election.
+		if leg.MaxOutageRounds == 0 || leg.MaxOutageRounds > leg.OutageBound {
+			t.Fatalf("shards=%d: outage %d rounds, bound %d", leg.Shards, leg.MaxOutageRounds, leg.OutageBound)
+		}
+		// Bootstrap + one election per chaos window.
+		if leg.Elections < 4 {
+			t.Fatalf("shards=%d: elections %d, want >= 4", leg.Shards, leg.Elections)
+		}
+		// The split-brain claim: the fenced duel was real and harmless.
+		if leg.FencingRejections == 0 {
+			t.Fatalf("shards=%d: dueling leader never fenced", leg.Shards)
+		}
+		if leg.DualApplies != 0 {
+			t.Fatalf("shards=%d: %d dual-applies", leg.Shards, leg.DualApplies)
+		}
+		if !leg.LogsIdentical {
+			t.Fatalf("shards=%d: replica logs diverge", leg.Shards)
+		}
+		if !leg.ExactlyOnce {
+			t.Fatalf("shards=%d: placement not exactly-once", leg.Shards)
+		}
+		// The headline claim: the interrupted, failover-ridden run is
+		// byte-identical to one uninterrupted fleet, accuracy included.
+		if !leg.Equivalent {
+			t.Fatalf("shards=%d: diverged from single-fleet baseline", leg.Shards)
+		}
+		if leg.HLAccuracy != leg.BaselineHL {
+			t.Fatalf("shards=%d: accuracy changed (%v vs %v)", leg.Shards, leg.HLAccuracy, leg.BaselineHL)
+		}
+	}
+	if !r.LogsMatchAcrossLegs {
+		t.Fatal("committed logs differ across shard counts")
+	}
+	out := renderNonEmpty(t, r)
+	if !strings.Contains(out, "byte-identical") {
 		t.Fatalf("render:\n%s", out)
 	}
 }

@@ -33,6 +33,7 @@ var Registry = map[string]Runner{
 	"ecvol":     func(o Opts) Report { return ECVol(o) },
 	"failover":  func(o Opts) Report { return ClusterFailover(o) },
 	"partition": func(o Opts) Report { return Partition(o) },
+	"quorum":    func(o Opts) Report { return Quorum(o) },
 }
 
 // Names returns the registered experiment identifiers in a stable order.

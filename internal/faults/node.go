@@ -50,6 +50,22 @@ const (
 	// operation that already happened — the asymmetric-partition case
 	// idempotency tokens exist for.
 	RPCTimeout
+	// LeaderCrash SIGKILLs whichever coordinator replica holds the
+	// lease when the window opens; the replica restarts (log intact)
+	// when the window closes. Node targeting is ignored — the fault
+	// follows the lease, not a fixed member.
+	LeaderCrash
+	// LeaderPartition cuts the lease holder off from its replica peers
+	// for the window. Its node plane stays reachable — it can still
+	// serve — but it cannot commit, so the lease lapses and the
+	// standbys elect around it. Node targeting is ignored.
+	LeaderPartition
+	// DuelingLeader is LeaderPartition plus a pinned lease: the
+	// partitioned leader refuses to step down (modeling a long GC pause
+	// or a wedged clock) and keeps driving node RPCs under its stale
+	// term until epoch fencing rejects them and forces the demotion.
+	// Node targeting is ignored.
+	DuelingLeader
 )
 
 // String names the node fault kind for logs and reports.
@@ -69,6 +85,12 @@ func (k NodeKind) String() string {
 		return "rpc-delay"
 	case RPCTimeout:
 		return "rpc-timeout"
+	case LeaderCrash:
+		return "leader-crash"
+	case LeaderPartition:
+		return "leader-partition"
+	case DuelingLeader:
+		return "dueling-leader"
 	default:
 		return fmt.Sprintf("node-kind(%d)", uint8(k))
 	}
@@ -109,7 +131,7 @@ func (s NodeSchedule) withDefaults() NodeSchedule {
 		switch s.Kind {
 		case HeartbeatLoss, RPCDrop, RPCDuplicate, RPCTimeout:
 			s.Rounds = 2
-		case Partition, SlowNode, RPCDelay:
+		case Partition, SlowNode, RPCDelay, LeaderCrash, LeaderPartition, DuelingLeader:
 			s.Rounds = 4
 		}
 	}
@@ -120,11 +142,14 @@ func (s NodeSchedule) withDefaults() NodeSchedule {
 }
 
 func (s NodeSchedule) validate(i int) error {
-	if s.Kind > RPCTimeout {
+	if s.Kind > DuelingLeader {
 		return fmt.Errorf("faults: node schedule %d: unknown kind %d", i, s.Kind)
 	}
 	if (s.At > 0) == (s.Prob > 0) {
 		return fmt.Errorf("faults: node schedule %d (%s): exactly one of At and Prob must be set", i, s.Kind)
+	}
+	if s.Kind >= LeaderCrash && s.Node != "" {
+		return fmt.Errorf("faults: node schedule %d (%s): leader faults follow the lease holder and take no node target", i, s.Kind)
 	}
 	if s.At < 0 {
 		return fmt.Errorf("faults: node schedule %d (%s): negative At %d", i, s.Kind, s.At)
@@ -281,4 +306,24 @@ func (f *NodeFaults) RPCDelayed(node string) time.Duration {
 // after execution this round.
 func (f *NodeFaults) RPCTimedOut(node string) bool {
 	return f.active(RPCTimeout, node) != nil
+}
+
+// LeaderCrashed reports whether a leader-crash window covers this
+// round. Leader faults follow the lease holder, so they carry no node
+// target.
+func (f *NodeFaults) LeaderCrashed() bool {
+	return f.active(LeaderCrash, "") != nil
+}
+
+// LeaderPartitioned reports whether the lease holder is cut off from
+// its replica peers this round — either a LeaderPartition window or a
+// DuelingLeader window covers it.
+func (f *NodeFaults) LeaderPartitioned() bool {
+	return f.active(LeaderPartition, "") != nil || f.active(DuelingLeader, "") != nil
+}
+
+// LeaderDueling reports whether the partitioned leader's lease is
+// pinned this round (it will not step down until fenced).
+func (f *NodeFaults) LeaderDueling() bool {
+	return f.active(DuelingLeader, "") != nil
 }

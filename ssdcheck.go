@@ -303,6 +303,24 @@ type (
 	ClusterBreakerTransition = cluster.BreakerTransition
 	// ClusterNodeResolver rebuilds node handles during WAL recovery.
 	ClusterNodeResolver = cluster.NodeResolver
+	// ClusterGroup is a replicated coordinator group: a quorum-
+	// acknowledged placement log, tick-clock leases, deterministic
+	// elections and term-fenced node RPCs (see internal/cluster
+	// replica.go / group.go).
+	ClusterGroup = cluster.Group
+	// ClusterGroupConfig parameterizes a replica group.
+	ClusterGroupConfig = cluster.GroupConfig
+	// ClusterGroupPolicy tunes leases and election timeouts, in
+	// heartbeat rounds.
+	ClusterGroupPolicy = cluster.GroupPolicy
+	// ClusterGroupStatus is the group's observable state: term, leader,
+	// quorum size, per-replica log positions.
+	ClusterGroupStatus = cluster.GroupStatus
+	// ClusterReplicaStatus is one replica's view.
+	ClusterReplicaStatus = cluster.ReplicaStatus
+	// ClusterFencingToken stamps node-plane RPCs with (term, leader) so
+	// a superseded coordinator cannot drive the fleet.
+	ClusterFencingToken = cluster.FencingToken
 	// FleetDeviceState is a device's exported wire state — what
 	// migrates between nodes on detach/attach.
 	FleetDeviceState = fleet.DeviceState
@@ -375,6 +393,21 @@ var NewClusterCoordinator = cluster.NewCoordinator
 // at a WAL directory: an existing log replays snapshot+tail so the
 // coordinator resumes exactly where the dead one stopped.
 var RecoverClusterCoordinator = cluster.RecoverCoordinator
+
+// NewClusterGroup stands up a replicated coordinator group: replicas
+// share a quorum-acknowledged log, the leader holds a tick-clock
+// lease, failover is a deterministic election, and superseded leaders
+// are fenced off the node plane by term.
+func NewClusterGroup(cfg ClusterGroupConfig) (*ClusterGroup, error) {
+	return cluster.NewGroup(cfg)
+}
+
+// The leader-chaos fault classes for the replica group harness.
+const (
+	NodeFaultLeaderCrash     = faults.LeaderCrash
+	NodeFaultLeaderPartition = faults.LeaderPartition
+	NodeFaultDuelingLeader   = faults.DuelingLeader
+)
 
 // Fault injection and fleet resilience (beyond the paper): a seedable
 // fault injector that wraps any Device, and the fleet's health state
